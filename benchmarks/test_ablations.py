@@ -1,0 +1,71 @@
+"""Design-choice ablations (DESIGN.md section 6 / the paper's future work)."""
+
+from repro.experiments.ablations import (
+    mispredict_penalty_ablation,
+    nested_spawn_ablation,
+    rob_size_ablation,
+    spawn_distance_ablation,
+    task_count_ablation,
+)
+
+
+def test_ablation_task_contexts(benchmark, runner):
+    result = benchmark.pedantic(
+        task_count_ablation, args=(runner,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    for name in result.workloads:
+        # No tasks, no speculation: the single-task machine is within
+        # noise of the baseline, and 8 tasks beat 1 task wherever there
+        # is any win at all.
+        assert abs(result.speedups[name][1]) < 8.0
+        assert result.speedups[name][8] >= result.speedups[name][1] - 3.0
+
+
+def test_ablation_rob_size(benchmark, runner):
+    result = benchmark.pedantic(
+        rob_size_ablation, args=(runner,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # The paper's conclusion: a larger window exposes more outer-loop
+    # parallelism on loop benchmarks (twolf).
+    twolf = result.speedups["twolf"]
+    assert twolf[1024] >= twolf[128] - 10.0
+
+
+def test_ablation_nested_spawns(benchmark, runner):
+    result = benchmark.pedantic(
+        nested_spawn_ablation, args=(runner,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    gains = [
+        result.speedups[name][True] - result.speedups[name][False]
+        for name in result.workloads
+    ]
+    # The future-work extension helps somewhere and is never ruinous.
+    assert max(gains) > 0.0
+    assert min(gains) > -15.0
+
+
+def test_ablation_mispredict_penalty(benchmark, runner):
+    result = benchmark.pedantic(
+        mispredict_penalty_ablation, args=(runner,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # Jumping over branches is worth more when mispredicts cost more.
+    for name in ("mcf", "perlbmk"):
+        assert result.speedups[name][32] >= result.speedups[name][4] - 5.0
+
+
+def test_ablation_spawn_distance(benchmark, runner):
+    result = benchmark.pedantic(
+        spawn_distance_ablation, args=(runner,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    for name in result.workloads:
+        assert result.speedups[name][512] >= result.speedups[name][64] - 20.0

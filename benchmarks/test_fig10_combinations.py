@@ -1,0 +1,24 @@
+"""Figure 10: combinations of heuristics vs control-equivalent spawning."""
+
+from repro.experiments import figure10
+
+
+def test_fig10_heuristic_combinations(benchmark, runner):
+    result = benchmark.pedantic(figure10, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    average = result.speedups["Average"]
+    best_combination = max(
+        average[spec] for spec in result.specs if spec != "postdoms"
+    )
+
+    # "Using control equivalent spawning performs at least as well as
+    # the best heuristic combination policy" (on average, clearly
+    # better: the paper reports 33% more speedup).
+    assert average["postdoms"] >= best_combination
+    assert average["postdoms"] >= 1.15 * max(best_combination, 1.0)
+
+    # Combinations beat the weakest individual heuristics: adding spawn
+    # types does not collapse performance.
+    assert best_combination > 0

@@ -1,0 +1,33 @@
+"""Figure 11: loss in speedup when one spawn category is excluded."""
+
+from repro.experiments import figure11
+
+
+def test_fig11_category_exclusions(benchmark, runner):
+    result = benchmark.pedantic(figure11, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    losses = result.losses
+
+    # The paper's headline examples:
+    # "vpr.route suffers a 29% loss when loop fall-through spawns are
+    # removed."
+    assert losses["vpr.route"]["postdoms-loopFT"] > 10.0
+    # "Vortex takes a 56% hit when procedure fall-throughs are removed."
+    assert losses["vortex"]["postdoms-procFT"] > 25.0
+    # "Perlbmk and mcf lose 21% and 16% respectively when hammocks are
+    # removed."
+    assert losses["perlbmk"]["postdoms-hammock"] > 8.0
+    assert losses["mcf"]["postdoms-hammock"] > 8.0
+
+    # On average, no category is free to drop.
+    for spec in ("postdoms-loopFT", "postdoms-procFT", "postdoms-hammock"):
+        assert losses["Average"][spec] > 0.0
+
+    # "Occasionally a spawn policy that restricts the set of spawns
+    # will achieve a small improvement" — small negative losses are
+    # expected, large ones are not.
+    for name in runner.workload_names:
+        for spec, loss in losses[name].items():
+            assert loss > -25.0, (name, spec, loss)

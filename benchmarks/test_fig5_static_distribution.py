@@ -1,0 +1,37 @@
+"""Figure 5: static distribution of control-equivalent task types."""
+
+from repro.experiments import figure5
+from repro.spawn import POSTDOMINATOR_CATEGORIES, SpawnCategory
+
+
+def test_fig5_static_distribution(benchmark, runner):
+    result = benchmark.pedantic(figure5, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    # Every benchmark has static spawns; the bar number is positive.
+    for name in runner.workload_names:
+        assert result.total(name) > 0
+
+    # "Hammocks, loop fall-throughs and procedure fall-throughs are all
+    # important task types" — each category is a sizable share of at
+    # least one benchmark.
+    for category in (
+        SpawnCategory.HAMMOCK,
+        SpawnCategory.LOOP_FALL_THROUGH,
+        SpawnCategory.PROCEDURE_FALL_THROUGH,
+        SpawnCategory.OTHER,
+    ):
+        best_share = max(
+            result.percentages(name)[category] for name in runner.workload_names
+        )
+        assert best_share > 10.0 or category == SpawnCategory.OTHER
+
+    # gcc has by far the largest static spawn count (13707 in the paper).
+    totals = {name: result.total(name) for name in runner.workload_names}
+    assert max(totals, key=totals.get) == "gcc"
+
+    # Percentages add up.
+    for name in runner.workload_names:
+        assert abs(sum(result.percentages(name).values()) - 100.0) < 1e-6
+    assert len(POSTDOMINATOR_CATEGORIES) == 4

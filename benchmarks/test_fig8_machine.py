@@ -1,0 +1,22 @@
+"""Figure 8: machine configuration, plus a baseline-IPC sanity table."""
+
+from repro.experiments import figure8
+from repro.experiments.paper_data import FIGURE9_SUPERSCALAR_IPC
+
+
+def test_fig8_machine_configuration(benchmark, runner):
+    rendered = benchmark.pedantic(figure8, rounds=1, iterations=1)
+    print()
+    print(rendered)
+    assert "8 instrs/cycle" in rendered
+    assert "512 entries" in rendered
+
+    # Superscalar IPCs land in a plausible band around the paper's
+    # (Figure 9 x-axis annotations); the substrate differs, so only the
+    # broad range is checked.
+    print()
+    print("benchmark    measured IPC   paper IPC")
+    for name in runner.workload_names:
+        ipc = runner.baseline(name).ipc
+        print("{:12s} {:12.2f} {:11.2f}".format(name, ipc, FIGURE9_SUPERSCALAR_IPC[name]))
+        assert 0.2 < ipc < 8.0

@@ -1,0 +1,75 @@
+"""Explore any workload under any spawn policy.
+
+A small command-line tool over the public API: build a workload, run
+the superscalar baseline and a set of spawn policies, and print the
+machine statistics that explain the speedups (spawn counts by category,
+violation squashes, diverted instructions, mean active tasks).
+
+Run with::
+
+    python examples/policy_explorer.py mcf
+    python examples/policy_explorer.py twolf --policies loop hammock postdoms
+    python examples/policy_explorer.py vortex --scale 0.25
+"""
+
+import argparse
+
+from repro.experiments import ExperimentRunner, REC_PRED_SPEC
+from repro.workloads import WORKLOAD_NAMES
+
+DEFAULT_POLICIES = ("loop", "loopFT", "procFT", "hammock", "other", "postdoms", REC_PRED_SPEC)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("workload", choices=WORKLOAD_NAMES)
+    parser.add_argument("--policies", nargs="+", default=list(DEFAULT_POLICIES))
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument(
+        "--limits",
+        action="store_true",
+        help="also print the Lam-Wilson-style ILP limit study",
+    )
+    arguments = parser.parse_args(argv)
+
+    runner = ExperimentRunner(scale=arguments.scale)
+    name = arguments.workload
+    prepared = runner.workload(name)
+    baseline = runner.baseline(name)
+
+    print("{}: {} dynamic instructions, {} procedures".format(
+        name, len(prepared.trace), len(prepared.cfgs)))
+    print("superscalar baseline: {} cycles, IPC {:.2f}, "
+          "{:.1%} branch mispredict rate".format(
+              baseline.cycles, baseline.ipc, baseline.branch_mispredict_rate))
+    print()
+    header = "{:16s} {:>8s} {:>7s} {:>7s} {:>8s} {:>8s} {:>6s}".format(
+        "policy", "speedup", "spawns", "squash", "diverted", "icstall", "tasks")
+    print(header)
+    print("-" * len(header))
+    for spec in arguments.policies:
+        stats = runner.run_policy(name, spec)
+        print("{:16s} {:+7.1f}% {:7d} {:7d} {:8d} {:8d} {:6.2f}".format(
+            spec,
+            runner.speedup(name, spec),
+            stats.total_spawns,
+            stats.violation_squashes,
+            stats.diverted_instructions,
+            stats.icache_stall_cycles,
+            stats.mean_active_tasks,
+        ))
+
+    if arguments.limits:
+        from repro.sim import limit_study_for_workload
+
+        result = limit_study_for_workload(prepared)
+        print()
+        print("ILP limit study (unit latency, unbounded resources):")
+        print("  dataflow only:          {:6.1f}".format(result.dataflow))
+        print("  single flow (gshare):   {:6.1f}".format(result.single_flow))
+        print("  control independence:   {:6.1f}  ({:.2f}x the single flow)".format(
+            result.control_independence, result.control_independence_gain))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Static analyses: dominance, control dependence, loops, dataflow."""
+
+from repro.analysis.control_dependence import (
+    ControlDependenceGraph,
+    compute_control_dependence,
+)
+from repro.analysis.dataflow import (
+    block_defs,
+    block_uses,
+    compute_liveness,
+    region_defs,
+)
+from repro.analysis.dominance import (
+    DominatorTree,
+    compute_dominator_tree,
+    compute_immediate_dominators,
+    compute_postdominator_tree,
+    immediate_postdominator_block,
+)
+from repro.analysis.loops import Loop, LoopForest, find_natural_loops
+
+__all__ = [
+    "DominatorTree",
+    "compute_dominator_tree",
+    "compute_immediate_dominators",
+    "compute_postdominator_tree",
+    "immediate_postdominator_block",
+    "ControlDependenceGraph",
+    "compute_control_dependence",
+    "Loop",
+    "LoopForest",
+    "find_natural_loops",
+    "block_defs",
+    "block_uses",
+    "region_defs",
+    "compute_liveness",
+]

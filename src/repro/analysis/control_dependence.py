@@ -1,0 +1,68 @@
+"""Control dependence (Ferrante, Ottenstein and Warren).
+
+A node X is control dependent on a branch node A when one successor of A
+always leads to X while another may reach the exit without passing
+through X.  Following FOW, for each CFG edge A -> B where B does not
+postdominate A, every node on the postdominator-tree path from B up to
+(but excluding) ipdom(A) is control dependent on A.
+"""
+
+from repro.analysis.dominance import compute_postdominator_tree
+
+
+class ControlDependenceGraph:
+    """Control dependences of one CFG.
+
+    Attributes:
+        cfg: The underlying CFG.
+        postdominator_tree: The postdominator tree used to build this CDG.
+    """
+
+    def __init__(self, cfg, postdominator_tree, dependences):
+        self.cfg = cfg
+        self.postdominator_tree = postdominator_tree
+        self._dependences = dependences
+        self._dependents = {}
+        for node, controllers in dependences.items():
+            for controller in controllers:
+                self._dependents.setdefault(controller, set()).add(node)
+
+    def controllers_of(self, node):
+        """Branch nodes that ``node`` is control dependent on."""
+        return frozenset(self._dependences.get(node, ()))
+
+    def dependents_of(self, branch_node):
+        """Nodes control dependent on ``branch_node`` (its CD region)."""
+        return frozenset(self._dependents.get(branch_node, ()))
+
+    def is_control_dependent(self, node, branch_node):
+        """Whether ``node`` is control dependent on ``branch_node``."""
+        return branch_node in self._dependences.get(node, ())
+
+    def edges(self):
+        """Yield (branch_node, dependent_node) pairs."""
+        for branch_node, dependents in self._dependents.items():
+            for dependent in sorted(dependents):
+                yield branch_node, dependent
+
+
+def compute_control_dependence(cfg, postdominator_tree=None):
+    """Compute the :class:`ControlDependenceGraph` of ``cfg``."""
+    if postdominator_tree is None:
+        postdominator_tree = compute_postdominator_tree(cfg)
+    dependences = {}
+    for node in range(len(cfg.blocks)):
+        successors = cfg.successors(node)
+        if len(successors) < 2:
+            continue
+        if node not in postdominator_tree:
+            continue
+        stop = postdominator_tree.parent_or_none(node)
+        for successor in successors:
+            runner = successor
+            while runner != stop and runner is not None:
+                dependences.setdefault(runner, set()).add(node)
+                if runner not in postdominator_tree:
+                    break
+                runner = postdominator_tree.parent_or_none(runner)
+    return ControlDependenceGraph(cfg, postdominator_tree, dependences)

@@ -1,0 +1,66 @@
+"""Register def/use summaries and liveness over a CFG.
+
+Used to cross-check the dependence hints the profiler attaches to spawn
+points (the contents of the paper's 8-byte hint-cache entry) and by the
+tests that validate hint write sets.
+"""
+
+
+def block_defs(block):
+    """Registers written by ``block`` (excluding the discarded r0)."""
+    defs = set()
+    for instruction in block.instructions:
+        destination = instruction.destination_register()
+        if destination is not None:
+            defs.add(destination)
+    return frozenset(defs)
+
+
+def block_uses(block):
+    """Registers read by ``block`` before any local redefinition."""
+    uses = set()
+    defined = set()
+    for instruction in block.instructions:
+        for source in instruction.source_registers():
+            if source != 0 and source not in defined:
+                uses.add(source)
+        destination = instruction.destination_register()
+        if destination is not None:
+            defined.add(destination)
+    return frozenset(uses)
+
+
+def region_defs(cfg, block_indices):
+    """Union of registers written by a set of blocks."""
+    defs = set()
+    for index in block_indices:
+        defs |= block_defs(cfg.block(index))
+    return frozenset(defs)
+
+
+def compute_liveness(cfg):
+    """Backward liveness: ``live_in``/``live_out`` register sets per block.
+
+    Returns:
+        Two dicts mapping block index -> frozenset of register indices.
+    """
+    gen = {block.index: block_uses(block) for block in cfg.blocks}
+    kill = {block.index: block_defs(block) for block in cfg.blocks}
+    live_in = {block.index: frozenset() for block in cfg.blocks}
+    live_out = {block.index: frozenset() for block in cfg.blocks}
+
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(cfg.blocks):
+            index = block.index
+            out_set = set()
+            for successor in cfg.successors(index):
+                if not cfg.is_exit(successor):
+                    out_set |= live_in[successor]
+            in_set = gen[index] | (frozenset(out_set) - kill[index])
+            if frozenset(out_set) != live_out[index] or frozenset(in_set) != live_in[index]:
+                live_out[index] = frozenset(out_set)
+                live_in[index] = frozenset(in_set)
+                changed = True
+    return live_in, live_out

@@ -1,0 +1,179 @@
+"""Dominator and postdominator computation.
+
+Implements the iterative dominator algorithm of Cooper, Harvey and
+Kennedy ("A simple, fast dominance algorithm").  Postdominators are
+dominators of the reversed CFG with the virtual exit as the entry, as in
+Section 2.1 of the paper.
+"""
+
+from repro.errors import AnalysisError
+
+
+def _reverse_postorder(entry, successors_fn):
+    """Reverse postorder of the nodes reachable from ``entry``."""
+    order = []
+    visited = {entry}
+    stack = [(entry, iter(successors_fn(entry)))]
+    while stack:
+        node, successor_iter = stack[-1]
+        advanced = False
+        for successor in successor_iter:
+            if successor not in visited:
+                visited.add(successor)
+                stack.append((successor, iter(successors_fn(successor))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def compute_immediate_dominators(entry, successors_fn, predecessors_fn):
+    """Compute immediate dominators for the graph reachable from ``entry``.
+
+    Args:
+        entry: The root node.
+        successors_fn: Callable returning a node's successors.
+        predecessors_fn: Callable returning a node's predecessors.
+
+    Returns:
+        Mapping from each reachable node to its immediate dominator.
+        The entry maps to itself.
+    """
+    order = _reverse_postorder(entry, successors_fn)
+    rpo_number = {node: number for number, node in enumerate(order)}
+    idom = {entry: entry}
+
+    def intersect(a, b):
+        while a != b:
+            while rpo_number[a] > rpo_number[b]:
+                a = idom[a]
+            while rpo_number[b] > rpo_number[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == entry:
+                continue
+            new_idom = None
+            for predecessor in predecessors_fn(node):
+                if predecessor in idom:
+                    if new_idom is None:
+                        new_idom = predecessor
+                    else:
+                        new_idom = intersect(predecessor, new_idom)
+            if new_idom is None:
+                continue
+            if idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+class DominatorTree:
+    """A (post)dominator tree with ancestor queries.
+
+    Attributes:
+        root: The tree root (the CFG entry for dominators, the virtual
+            exit for postdominators).
+        parent_map: Mapping node -> immediate (post)dominator; the root
+            maps to ``None``.  Nodes absent from the map are not
+            (post)dominated (e.g. blocks that cannot reach the exit).
+    """
+
+    def __init__(self, root, idom_map):
+        self.root = root
+        self.parent_map = {}
+        self.children = {root: []}
+        for node, parent in idom_map.items():
+            if node == root:
+                self.parent_map[node] = None
+                continue
+            self.parent_map[node] = parent
+            self.children.setdefault(parent, []).append(node)
+            self.children.setdefault(node, [])
+        self._depth = {}
+        self._compute_depths()
+
+    def _compute_depths(self):
+        stack = [(self.root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            self._depth[node] = depth
+            for child in self.children.get(node, ()):
+                stack.append((child, depth + 1))
+
+    def __contains__(self, node):
+        return node in self.parent_map
+
+    def parent(self, node):
+        """Immediate (post)dominator of ``node``, or None for the root.
+
+        Raises:
+            AnalysisError: If ``node`` is not in the tree.
+        """
+        if node not in self.parent_map:
+            raise AnalysisError("node {!r} is not in the dominator tree".format(node))
+        return self.parent_map[node]
+
+    def parent_or_none(self, node):
+        """Like :meth:`parent` but returns None for absent nodes."""
+        return self.parent_map.get(node)
+
+    def depth(self, node):
+        """Depth of ``node`` below the root."""
+        return self._depth[node]
+
+    def dominates(self, ancestor, node):
+        """Whether ``ancestor`` (post)dominates ``node`` (reflexive)."""
+        if ancestor not in self.parent_map or node not in self.parent_map:
+            return False
+        while self._depth[node] > self._depth[ancestor]:
+            node = self.parent_map[node]
+        return node == ancestor
+
+    def strictly_dominates(self, ancestor, node):
+        """Whether ``ancestor`` (post)dominates ``node`` and differs."""
+        return ancestor != node and self.dominates(ancestor, node)
+
+    def nodes(self):
+        """All nodes in the tree."""
+        return self.parent_map.keys()
+
+
+def compute_dominator_tree(cfg):
+    """Dominator tree of a CFG, rooted at the entry block."""
+    idom = compute_immediate_dominators(
+        cfg.entry_index, cfg.successors, cfg.predecessors
+    )
+    return DominatorTree(cfg.entry_index, idom)
+
+
+def compute_postdominator_tree(cfg):
+    """Postdominator tree of a CFG, rooted at the virtual exit.
+
+    Blocks that cannot reach the exit (infinite loops under the profiled
+    edge set) are absent from the tree and therefore have no immediate
+    postdominator.
+    """
+    idom = compute_immediate_dominators(
+        cfg.exit_index, cfg.predecessors, cfg.successors
+    )
+    return DominatorTree(cfg.exit_index, idom)
+
+
+def immediate_postdominator_block(cfg, postdominator_tree, node):
+    """The ipdom of ``node`` as a block index, or None.
+
+    Returns None when the ipdom is the virtual exit (there is no
+    instruction to spawn) or when ``node`` has no postdominator.
+    """
+    parent = postdominator_tree.parent_or_none(node)
+    if parent is None or cfg.is_exit(parent):
+        return None
+    return parent

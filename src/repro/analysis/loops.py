@@ -1,0 +1,145 @@
+"""Natural-loop detection and loop nesting.
+
+Back edges are CFG edges ``u -> v`` where ``v`` dominates ``u``.  The
+natural loop of a back edge is ``v`` plus every node that can reach
+``u`` without passing through ``v``.  Loops sharing a header are merged.
+"""
+
+from repro.analysis.dominance import compute_dominator_tree
+
+
+class Loop:
+    """One natural loop.
+
+    Attributes:
+        header: Block index of the loop header.
+        body: Frozenset of block indices in the loop (header included).
+        latches: Block indices that are sources of back edges.
+        exit_edges: CFG edges ``(source, destination)`` leaving the loop.
+        parent: The innermost enclosing loop, or None.
+        children: Loops immediately nested inside this one.
+    """
+
+    def __init__(self, header, body, latches):
+        self.header = header
+        self.body = frozenset(body)
+        self.latches = frozenset(latches)
+        self.exit_edges = []
+        self.parent = None
+        self.children = []
+
+    @property
+    def depth(self):
+        """Nesting depth (outermost loops have depth 1)."""
+        depth = 1
+        loop = self.parent
+        while loop is not None:
+            depth += 1
+            loop = loop.parent
+        return depth
+
+    def contains_block(self, node):
+        """Whether ``node`` is inside this loop."""
+        return node in self.body
+
+    def __repr__(self):
+        return "Loop(header={}, size={}, depth={})".format(
+            self.header, len(self.body), self.depth
+        )
+
+
+class LoopForest:
+    """All natural loops of a CFG with their nesting relation."""
+
+    def __init__(self, cfg, loops):
+        self.cfg = cfg
+        #: Loops sorted by (depth, header index).
+        self.loops = loops
+        self._innermost = {}
+        for loop in sorted(loops, key=lambda item: item.depth):
+            for node in loop.body:
+                self._innermost[node] = loop
+
+    def innermost_loop_of(self, node):
+        """The innermost loop containing ``node``, or None."""
+        return self._innermost.get(node)
+
+    def is_back_edge(self, source, destination):
+        """Whether the CFG edge is a loop back edge."""
+        for loop in self.loops:
+            if destination == loop.header and source in loop.latches:
+                return True
+        return False
+
+    def is_loop_exit_edge(self, source, destination):
+        """Whether the CFG edge leaves the innermost loop of ``source``."""
+        loop = self.innermost_loop_of(source)
+        while loop is not None:
+            if destination not in loop.body:
+                return True
+            loop = loop.parent
+        return False
+
+    def top_level_loops(self):
+        """Loops that are not nested inside any other loop."""
+        return [loop for loop in self.loops if loop.parent is None]
+
+    def __len__(self):
+        return len(self.loops)
+
+    def __iter__(self):
+        return iter(self.loops)
+
+
+def find_natural_loops(cfg, dominator_tree=None):
+    """Compute the :class:`LoopForest` of ``cfg``."""
+    if dominator_tree is None:
+        dominator_tree = compute_dominator_tree(cfg)
+
+    # 1. Find back edges among reachable blocks.
+    back_edges = []
+    for node in range(len(cfg.blocks)):
+        if node not in dominator_tree:
+            continue
+        for successor in cfg.successors(node):
+            if cfg.is_exit(successor):
+                continue
+            if dominator_tree.dominates(successor, node):
+                back_edges.append((node, successor))
+
+    # 2. Natural loop of each back edge; merge loops with one header.
+    bodies = {}
+    latches = {}
+    for latch, header in back_edges:
+        body = {header, latch}
+        worklist = [latch] if latch != header else []
+        while worklist:
+            node = worklist.pop()
+            for predecessor in cfg.predecessors(node):
+                if predecessor not in body:
+                    body.add(predecessor)
+                    worklist.append(predecessor)
+        bodies.setdefault(header, set()).update(body)
+        latches.setdefault(header, set()).add(latch)
+
+    loops = [
+        Loop(header, bodies[header], latches[header]) for header in sorted(bodies)
+    ]
+
+    # 3. Nesting: the parent is the smallest strictly-enclosing loop.
+    by_size = sorted(loops, key=lambda loop: len(loop.body))
+    for index, loop in enumerate(by_size):
+        for candidate in by_size[index + 1 :]:
+            if loop.header in candidate.body and loop.body <= candidate.body:
+                loop.parent = candidate
+                candidate.children.append(loop)
+                break
+
+    # 4. Exit edges.
+    for loop in loops:
+        for node in loop.body:
+            for successor in cfg.successors(node):
+                if cfg.is_exit(successor) or successor not in loop.body:
+                    loop.exit_edges.append((node, successor))
+
+    return LoopForest(cfg, loops)

@@ -1,0 +1,24 @@
+"""Control flow graphs: basic blocks, per-procedure graphs, builders."""
+
+from repro.cfg.basic_block import BasicBlock
+from repro.cfg.builder import (
+    JumpProfile,
+    ProgramCFGs,
+    build_cfg,
+    build_program_cfgs,
+    discover_procedure_entries,
+)
+from repro.cfg.dot import cfg_to_dot, tree_to_dot
+from repro.cfg.graph import ControlFlowGraph
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "JumpProfile",
+    "ProgramCFGs",
+    "build_cfg",
+    "build_program_cfgs",
+    "discover_procedure_entries",
+    "cfg_to_dot",
+    "tree_to_dot",
+]

@@ -1,0 +1,56 @@
+"""Basic blocks: maximal straight-line instruction sequences."""
+
+
+class BasicBlock:
+    """A basic block of a control flow graph.
+
+    Attributes:
+        index: Position of this block within its CFG (dense, 0-based).
+        instructions: Instructions of the block, in address order.
+        successors: Indices of successor blocks (CFG edges out).
+        predecessors: Indices of predecessor blocks (CFG edges in).
+    """
+
+    __slots__ = ("index", "instructions", "successors", "predecessors")
+
+    def __init__(self, index, instructions):
+        self.index = index
+        self.instructions = list(instructions)
+        self.successors = []
+        self.predecessors = []
+
+    @property
+    def start_pc(self):
+        """Address of the first instruction."""
+        return self.instructions[0].pc
+
+    @property
+    def end_pc(self):
+        """Address of the last instruction."""
+        return self.instructions[-1].pc
+
+    @property
+    def terminator(self):
+        """The last instruction of the block."""
+        return self.instructions[-1]
+
+    def ends_in_conditional_branch(self):
+        """Whether the block ends in a conditional branch."""
+        return self.terminator.is_conditional_branch
+
+    def ends_in_call(self):
+        """Whether the block ends in a (direct or indirect) call."""
+        return self.terminator.is_call
+
+    def ends_in_indirect_jump(self):
+        """Whether the block ends in a non-return indirect jump."""
+        terminator = self.terminator
+        return terminator.is_indirect_jump and not terminator.is_call
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def __repr__(self):
+        return "BasicBlock(index={}, start={:#x}, len={})".format(
+            self.index, self.start_pc, len(self.instructions)
+        )

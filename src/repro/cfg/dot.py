@@ -1,0 +1,47 @@
+"""Graphviz DOT export for CFGs, postdominator trees, and CDGs."""
+
+
+def cfg_to_dot(cfg, labels=None):
+    """Render a CFG as Graphviz DOT text.
+
+    Args:
+        cfg: The :class:`~repro.cfg.graph.ControlFlowGraph`.
+        labels: Optional mapping from block index to display label;
+            defaults to the block's start pc.
+    """
+    lines = ["digraph {} {{".format(cfg.name.replace(".", "_"))]
+    lines.append('  node [shape=box, fontname="monospace"];')
+    for block in cfg.blocks:
+        if labels and block.index in labels:
+            label = labels[block.index]
+        else:
+            label = "B{} @{:#x}".format(block.index, block.start_pc)
+        lines.append('  n{} [label="{}"];'.format(block.index, label))
+    lines.append('  exit [label="EXIT", shape=doublecircle];')
+    for block in cfg.blocks:
+        for successor in block.successors:
+            lines.append("  n{} -> n{};".format(block.index, successor))
+    for source in cfg.exit_predecessors:
+        lines.append("  n{} -> exit;".format(source))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def tree_to_dot(parent_map, name="tree", node_label=None):
+    """Render a parent-pointer tree (e.g. a postdominator tree) as DOT.
+
+    Args:
+        parent_map: Mapping from node to its parent (roots map to None).
+        name: Graph name.
+        node_label: Optional callable rendering a node as a label.
+    """
+    if node_label is None:
+        node_label = str
+    lines = ["digraph {} {{".format(name)]
+    for node in parent_map:
+        lines.append('  n{} [label="{}"];'.format(node, node_label(node)))
+    for node, parent in parent_map.items():
+        if parent is not None:
+            lines.append("  n{} -> n{};".format(parent, node))
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Control flow graph for one procedure.
+
+The graph contains one node per basic block plus a single *virtual exit*
+node.  Every block that leaves the procedure (returns, halts, or ends in
+an unresolved indirect jump) gets an edge to the virtual exit, so that
+postdominance is well defined even for procedures with several returns.
+"""
+
+from repro.errors import CFGError
+
+
+class ControlFlowGraph:
+    """A per-procedure CFG with a virtual exit node.
+
+    Node identifiers are integers: ``0..len(blocks)-1`` are basic blocks
+    and :attr:`exit_index` (``== len(blocks)``) is the virtual exit.
+    """
+
+    def __init__(self, blocks, entry_index, entry_pc=None, name=None):
+        if not blocks:
+            raise CFGError("a CFG must contain at least one basic block")
+        self.blocks = list(blocks)
+        self.entry_index = entry_index
+        self.exit_index = len(self.blocks)
+        self.entry_pc = entry_pc if entry_pc is not None else blocks[entry_index].start_pc
+        self.name = name or "proc_{:x}".format(self.entry_pc)
+        #: Block indices with an edge to the virtual exit.
+        self.exit_predecessors = []
+        self._block_by_start_pc = {block.start_pc: block for block in self.blocks}
+
+    # -- construction helpers -------------------------------------------------
+
+    def add_edge(self, source, destination):
+        """Add a CFG edge between two block indices."""
+        self.blocks[source].successors.append(destination)
+        self.blocks[destination].predecessors.append(source)
+
+    def add_exit_edge(self, source):
+        """Connect a block to the virtual exit node."""
+        self.exit_predecessors.append(source)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def node_count(self):
+        """Number of nodes including the virtual exit."""
+        return len(self.blocks) + 1
+
+    def node_ids(self):
+        """Return all node identifiers, blocks first, then the exit."""
+        return range(self.node_count)
+
+    def successors(self, node):
+        """Successor node ids of ``node`` (exit edges included)."""
+        if node == self.exit_index:
+            return []
+        block = self.blocks[node]
+        if node in self.exit_predecessors:
+            return list(block.successors) + [self.exit_index]
+        return list(block.successors)
+
+    def predecessors(self, node):
+        """Predecessor node ids of ``node``."""
+        if node == self.exit_index:
+            return list(self.exit_predecessors)
+        return list(self.blocks[node].predecessors)
+
+    def block(self, node):
+        """Return the :class:`BasicBlock` for a block node id."""
+        if node == self.exit_index:
+            raise CFGError("the virtual exit node has no basic block")
+        return self.blocks[node]
+
+    def block_starting_at(self, pc):
+        """Return the block whose first instruction is at ``pc``, or None."""
+        return self._block_by_start_pc.get(pc)
+
+    def block_containing_pc(self, pc):
+        """Return the block containing the instruction at ``pc``, or None."""
+        for block in self.blocks:
+            if block.start_pc <= pc <= block.end_pc:
+                return block
+        return None
+
+    def is_exit(self, node):
+        """Whether ``node`` is the virtual exit."""
+        return node == self.exit_index
+
+    def reverse_postorder(self):
+        """Block ids in reverse postorder of a DFS from the entry.
+
+        The virtual exit is included if reachable.  Unreachable nodes are
+        omitted.
+        """
+        order = []
+        visited = set()
+        stack = [(self.entry_index, iter(self.successors(self.entry_index)))]
+        visited.add(self.entry_index)
+        while stack:
+            node, successor_iter = stack[-1]
+            advanced = False
+            for successor in successor_iter:
+                if successor not in visited:
+                    visited.add(successor)
+                    stack.append((successor, iter(self.successors(successor))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+        order.reverse()
+        return order
+
+    def conditional_branch_blocks(self):
+        """Yield blocks that end in a conditional branch."""
+        for block in self.blocks:
+            if block.ends_in_conditional_branch():
+                yield block
+
+    def edge_count(self):
+        """Total number of edges, including edges to the virtual exit."""
+        return sum(len(block.successors) for block in self.blocks) + len(
+            self.exit_predecessors
+        )
+
+    def __repr__(self):
+        return "ControlFlowGraph(name={!r}, blocks={}, edges={})".format(
+            self.name, len(self.blocks), self.edge_count()
+        )

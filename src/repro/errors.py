@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single exception type at the API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class AssemblyError(ReproError):
+    """Raised when assembly text cannot be assembled into a program."""
+
+    def __init__(self, message, line_number=None):
+        if line_number is not None:
+            message = "line {}: {}".format(line_number, message)
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class ExecutionError(ReproError):
+    """Raised when the functional simulator encounters an illegal state."""
+
+
+class CFGError(ReproError):
+    """Raised when a control flow graph is malformed or a query is invalid."""
+
+
+class AnalysisError(ReproError):
+    """Raised when a static analysis cannot be computed."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a machine or experiment configuration is inconsistent."""
+
+
+class SimulationError(ReproError):
+    """Raised when the cycle-level simulator reaches an inconsistent state."""

@@ -1,0 +1,46 @@
+"""Experiment harness: regenerate every evaluation figure of the paper."""
+
+from repro.experiments.ablations import (
+    AblationResult,
+    divert_release_ablation,
+    mispredict_penalty_ablation,
+    nested_spawn_ablation,
+    rob_size_ablation,
+    spawn_distance_ablation,
+    task_count_ablation,
+)
+from repro.experiments.figures import (
+    FIGURE9_SPECS,
+    FIGURE10_SPECS,
+    FIGURE12_SPECS,
+    figure5,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    headline_ratios,
+)
+from repro.experiments.runner import REC_PRED_SPEC, ExperimentRunner
+
+__all__ = [
+    "ExperimentRunner",
+    "REC_PRED_SPEC",
+    "figure5",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "headline_ratios",
+    "FIGURE9_SPECS",
+    "FIGURE10_SPECS",
+    "FIGURE12_SPECS",
+    "AblationResult",
+    "task_count_ablation",
+    "rob_size_ablation",
+    "nested_spawn_ablation",
+    "mispredict_penalty_ablation",
+    "spawn_distance_ablation",
+    "divert_release_ablation",
+]

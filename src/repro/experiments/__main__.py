@@ -1,0 +1,97 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.experiments fig5
+    python -m repro.experiments fig9 --scale 0.5
+    python -m repro.experiments all
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import figures
+from repro.experiments.runner import ExperimentRunner
+
+_FIGURES = ("fig5", "fig8", "fig9", "fig10", "fig11", "fig12")
+_ABLATIONS = "ablations"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="polyflow-experiments",
+        description="Regenerate the evaluation figures of 'Exploiting "
+        "Postdominance for Speculative Parallelization' (HPCA 2007).",
+    )
+    parser.add_argument(
+        "figure",
+        choices=_FIGURES + (_ABLATIONS, "all"),
+        help="which figure to regenerate ('ablations' runs the "
+        "design-choice sweeps)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale factor (smaller = faster, default 1.0)",
+    )
+    arguments = parser.parse_args(argv)
+
+    runner = ExperimentRunner(scale=arguments.scale)
+    started = time.time()
+
+    if arguments.figure == _ABLATIONS:
+        from repro.experiments import ablations
+
+        for sweep in (
+            ablations.task_count_ablation,
+            ablations.rob_size_ablation,
+            ablations.nested_spawn_ablation,
+            ablations.mispredict_penalty_ablation,
+            ablations.spawn_distance_ablation,
+            ablations.divert_release_ablation,
+        ):
+            print(sweep(runner).render())
+            print()
+        print("[completed in {:.1f}s]".format(time.time() - started), file=sys.stderr)
+        return 0
+
+    requested = _FIGURES if arguments.figure == "all" else (arguments.figure,)
+
+    for figure in requested:
+        if figure == "fig5":
+            print(figures.figure5(runner).render())
+        elif figure == "fig8":
+            print(figures.figure8())
+        elif figure == "fig9":
+            result = figures.figure9(runner)
+            print(result.render())
+        elif figure == "fig10":
+            print(figures.figure10(runner).render())
+        elif figure == "fig11":
+            print(figures.figure11(runner).render())
+        elif figure == "fig12":
+            print(figures.figure12(runner).render())
+        print()
+
+    if arguments.figure == "all":
+        fig9_result = figures.figure9(runner)
+        fig10_result = figures.figure10(runner)
+        heuristic_ratio, combination_ratio = figures.headline_ratios(
+            fig9_result, fig10_result
+        )
+        print(
+            "Headline: postdoms = {:.2f}x best individual heuristic "
+            "(paper: >2x), {:.2f}x best combination (paper: 1.33x)".format(
+                heuristic_ratio, combination_ratio
+            )
+        )
+    print(
+        "[completed in {:.1f}s]".format(time.time() - started), file=sys.stderr
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,189 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+The paper's conclusion names the two machine limitations it hopes to
+lift in future work — each task spawning only a single successor, and
+the 512-entry ROB bounding outer-loop parallelism.  These ablations
+quantify both on this model, plus the sensitivity knobs reviewers
+usually ask about (task count, mispredict penalty, spawn distance cap,
+divert-queue release policy).
+
+Every ablation reuses the cached workload preparation and reruns only
+the cycle-level simulations under modified machine configurations.
+"""
+
+import dataclasses
+
+from repro.experiments.reporting import format_percent, format_table
+from repro.polyflow import PAPER_CONFIG, PolyFlowCore, speedup_percent
+from repro.polyflow.config import superscalar_config
+from repro.spawn.hints import HintTable
+
+#: Benchmarks used for ablations (a spread of behaviours: loop-
+#: parallel, call/icache-bound, memory/hammock-bound, interpreter).
+DEFAULT_ABLATION_WORKLOADS = ("twolf", "vortex", "mcf", "perlbmk")
+
+
+class AblationResult:
+    """Speedups of one policy across a swept machine parameter."""
+
+    def __init__(self, title, parameter_name, values, workloads, speedups):
+        self.title = title
+        self.parameter_name = parameter_name
+        self.values = tuple(values)
+        self.workloads = tuple(workloads)
+        #: {workload: {parameter value: speedup %}}
+        self.speedups = speedups
+
+    def render(self):
+        headers = ["benchmark"] + [
+            "{}={}".format(self.parameter_name, value) for value in self.values
+        ]
+        rows = []
+        for name in self.workloads:
+            rows.append(
+                [name]
+                + [format_percent(self.speedups[name][value]) for value in self.values]
+            )
+        return format_table(headers, rows, title=self.title)
+
+
+def _run_with_config(runner, name, config, spec="postdoms"):
+    """PolyFlow stats for one workload under an arbitrary config."""
+    prepared = runner.workload(name)
+    hints = runner.hint_table(name, spec)
+    return PolyFlowCore(prepared.trace, config, hints).run()
+
+
+def _baseline_with_config(runner, name, config):
+    prepared = runner.workload(name)
+    core = PolyFlowCore(prepared.trace, superscalar_config(config), HintTable())
+    return core.run()
+
+
+def _sweep(runner, title, parameter_name, values, make_config, workloads):
+    speedups = {}
+    for name in workloads:
+        baseline = runner.baseline(name)
+        speedups[name] = {}
+        for value in values:
+            config = make_config(value)
+            stats = _run_with_config(runner, name, config)
+            speedups[name][value] = speedup_percent(stats, baseline)
+    return AblationResult(title, parameter_name, values, workloads, speedups)
+
+
+def task_count_ablation(runner, counts=(1, 2, 4, 8), workloads=DEFAULT_ABLATION_WORKLOADS):
+    """How much of the postdoms speedup each task context buys."""
+
+    def make_config(count):
+        return dataclasses.replace(
+            PAPER_CONFIG,
+            max_tasks=count,
+            fetch_tasks_per_cycle=min(2, count),
+        )
+
+    return _sweep(
+        runner,
+        "Ablation: task contexts (postdoms policy)",
+        "tasks",
+        counts,
+        make_config,
+        workloads,
+    )
+
+
+def rob_size_ablation(
+    runner, sizes=(128, 256, 512, 1024), workloads=DEFAULT_ABLATION_WORKLOADS
+):
+    """The conclusion's second limitation: ROB size bounds outer-loop
+    parallelism.  Both PolyFlow and its baseline get the swept ROB."""
+    speedups = {}
+    for name in workloads:
+        speedups[name] = {}
+        for size in sizes:
+            config = dataclasses.replace(PAPER_CONFIG, rob_entries=size)
+            stats = _run_with_config(runner, name, config)
+            baseline = _baseline_with_config(runner, name, config)
+            speedups[name][size] = speedup_percent(stats, baseline)
+    return AblationResult(
+        "Ablation: reorder buffer size (postdoms policy, matched baseline)",
+        "rob",
+        sizes,
+        workloads,
+        speedups,
+    )
+
+
+def nested_spawn_ablation(runner, workloads=DEFAULT_ABLATION_WORKLOADS):
+    """The conclusion's first limitation: single-successor spawning.
+
+    Compares stock PolyFlow against the future-work extension that
+    splits a bounded task's segment to spawn past inner branches.
+    """
+
+    def make_config(enabled):
+        return dataclasses.replace(PAPER_CONFIG, nested_spawns=enabled)
+
+    return _sweep(
+        runner,
+        "Ablation: nested spawns (the paper's future-work extension)",
+        "nested",
+        (False, True),
+        make_config,
+        workloads,
+    )
+
+
+def mispredict_penalty_ablation(
+    runner, penalties=(4, 8, 16, 32), workloads=DEFAULT_ABLATION_WORKLOADS
+):
+    """Sensitivity of the postdoms speedup to the refill penalty."""
+    speedups = {}
+    for name in workloads:
+        speedups[name] = {}
+        for penalty in penalties:
+            config = dataclasses.replace(PAPER_CONFIG, mispredict_penalty=penalty)
+            stats = _run_with_config(runner, name, config)
+            baseline = _baseline_with_config(runner, name, config)
+            speedups[name][penalty] = speedup_percent(stats, baseline)
+    return AblationResult(
+        "Ablation: branch mispredict penalty (matched baseline)",
+        "penalty",
+        penalties,
+        workloads,
+        speedups,
+    )
+
+
+def spawn_distance_ablation(
+    runner, caps=(64, 128, 256, 512), workloads=DEFAULT_ABLATION_WORKLOADS
+):
+    """The 'not too far into the future' cap on spawn distances."""
+
+    def make_config(cap):
+        return dataclasses.replace(PAPER_CONFIG, max_spawn_distance=cap)
+
+    return _sweep(
+        runner,
+        "Ablation: maximum spawn distance (postdoms policy)",
+        "max_dist",
+        caps,
+        make_config,
+        workloads,
+    )
+
+
+def divert_release_ablation(runner, workloads=DEFAULT_ABLATION_WORKLOADS):
+    """Divert-queue release at producer dispatch vs completion."""
+
+    def make_config(release):
+        return dataclasses.replace(PAPER_CONFIG, divert_release=release)
+
+    return _sweep(
+        runner,
+        "Ablation: divert-queue release policy (postdoms policy)",
+        "release",
+        ("dispatch", "complete"),
+        make_config,
+        workloads,
+    )

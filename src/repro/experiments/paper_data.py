@@ -1,0 +1,75 @@
+"""Numbers reported by the paper, for shape comparison.
+
+Figure values were read off the published bar charts, so they are
+approximate (+/- a few percentage points).  They are used only to
+compare *shape* — per-benchmark winners, orderings, and rough ratios —
+never to assert absolute agreement (the substrate here is a synthetic
+workload suite on a trace-driven model; see DESIGN.md).
+"""
+
+#: Superscalar IPCs printed under Figure 9's x-axis (exact, from text).
+FIGURE9_SUPERSCALAR_IPC = {
+    "bzip2": 2.8,
+    "crafty": 1.69,
+    "gap": 2.52,
+    "gcc": 1.43,
+    "gzip": 2.43,
+    "mcf": 1.91,
+    "parser": 2.06,
+    "perlbmk": 1.33,
+    "twolf": 1.70,
+    "vortex": 1.93,
+    "vpr.place": 1.98,
+    "vpr.route": 2.70,
+}
+
+#: Figure 5: static spawn-point totals shown on top of each bar (exact).
+FIGURE5_TOTAL_STATIC_SPAWNS = {
+    "bzip2": 465,
+    "crafty": 1941,
+    "gap": 2881,
+    "gcc": 13707,
+    "gzip": 467,
+    "mcf": 381,
+    "parser": 2179,
+    "perlbmk": 1277,
+    "twolf": 2031,
+    "vortex": 4041,
+    "vpr.place": 1225,
+    "vpr.route": 1842,
+}
+
+#: Figure 9 speedups (%) over the superscalar, read from the bars.
+FIGURE9_SPEEDUPS = {
+    "bzip2": {"loop": 3, "loopFT": 8, "procFT": 4, "hammock": 14, "other": 2, "postdoms": 25},
+    "crafty": {"loop": -2, "loopFT": 3, "procFT": 4, "hammock": 9, "other": 4, "postdoms": 36},
+    "gap": {"loop": 2, "loopFT": 6, "procFT": 25, "hammock": 6, "other": 2, "postdoms": 35},
+    "gcc": {"loop": -3, "loopFT": 8, "procFT": 10, "hammock": 8, "other": 3, "postdoms": 22},
+    "gzip": {"loop": -8, "loopFT": 4, "procFT": 1, "hammock": 5, "other": 1, "postdoms": 10},
+    "mcf": {"loop": 2, "loopFT": 4, "procFT": 2, "hammock": 26, "other": 6, "postdoms": 42},
+    "parser": {"loop": -4, "loopFT": 4, "procFT": 8, "hammock": 8, "other": 2, "postdoms": 21},
+    "perlbmk": {"loop": 4, "loopFT": 4, "procFT": 6, "hammock": 10, "other": 15, "postdoms": 31},
+    "twolf": {"loop": 20, "loopFT": 20, "procFT": 2, "hammock": 17, "other": 2, "postdoms": 42},
+    "vortex": {"loop": 1, "loopFT": 4, "procFT": 40, "hammock": 6, "other": 2, "postdoms": 56},
+    "vpr.place": {"loop": 3, "loopFT": 9, "procFT": 2, "hammock": 10, "other": 2, "postdoms": 24},
+    "vpr.route": {"loop": 8, "loopFT": 30, "procFT": 1, "hammock": 5, "other": 1, "postdoms": 29},
+}
+
+#: Figure 11 losses (% speedup, normalized to superscalar IPC) the text
+#: calls out explicitly (exact, from prose).
+FIGURE11_TEXT_CLAIMS = {
+    ("vpr.route", "postdoms-loopFT"): 29,
+    ("vortex", "postdoms-procFT"): 56,
+    ("perlbmk", "postdoms-hammock"): 21,
+    ("mcf", "postdoms-hammock"): 16,
+}
+
+#: Headline claims (from the abstract/conclusion).
+HEADLINE_POSTDOMS_OVER_BEST_HEURISTIC = 2.0  # "more than double"
+HEADLINE_POSTDOMS_OVER_BEST_COMBINATION = 1.33  # "33% more speedup"
+
+
+def figure9_average(spec):
+    """Paper's Figure 9 average for one policy spec."""
+    values = [row[spec] for row in FIGURE9_SPEEDUPS.values()]
+    return sum(values) / len(values)

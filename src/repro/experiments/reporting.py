@@ -1,0 +1,86 @@
+"""ASCII rendering of experiment results."""
+
+
+def format_table(headers, rows, title=None):
+    """Render a list of rows as an aligned ASCII table.
+
+    Args:
+        headers: Column header strings.
+        rows: Iterable of row tuples (values are str()-ed).
+        title: Optional title line.
+    """
+    rendered_rows = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+
+    def format_row(values):
+        cells = []
+        for column, value in enumerate(values):
+            if column == 0:
+                cells.append(value.ljust(widths[column]))
+            else:
+                cells.append(value.rjust(widths[column]))
+        return "  ".join(cells)
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(format_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(format_row(row))
+    return "\n".join(lines)
+
+
+def format_percent(value):
+    """Render a speedup percentage."""
+    return "{:+.1f}".format(value)
+
+
+def format_speedup_table(result, title):
+    """Render a {workload: {spec: %}} mapping as a table."""
+    specs = result.specs
+    headers = ["benchmark"] + list(specs)
+    rows = []
+    for name in result.workloads + ("Average",):
+        rows.append(
+            [name] + [format_percent(result.speedups[name][spec]) for spec in specs]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def format_bars(values, width=50, label_width=None):
+    """Render labelled horizontal ASCII bars (the figures are bar charts).
+
+    Args:
+        values: Iterable of ``(label, value)`` pairs (values in %).
+        width: Character budget for the longest bar.
+        label_width: Fixed label column width (default: longest label).
+
+    Negative values render to the left of the axis, as in Figure 9's
+    bars below zero.
+    """
+    values = list(values)
+    if not values:
+        return ""
+    if label_width is None:
+        label_width = max(len(str(label)) for label, _ in values)
+    largest = max(abs(value) for _, value in values) or 1.0
+    scale = width / largest
+    lines = []
+    for label, value in values:
+        length = int(round(abs(value) * scale))
+        bar = "#" * length
+        if value < 0:
+            rendered = "-" + bar
+        else:
+            rendered = bar
+        lines.append(
+            "{:<{label_width}} |{:<{width}} {:+.1f}%".format(
+                label, rendered, value, label_width=label_width, width=width + 1
+            )
+        )
+    return "\n".join(lines)

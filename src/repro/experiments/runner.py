@@ -1,0 +1,97 @@
+"""Experiment runner: sweeps (workload, policy) pairs with caching.
+
+One :class:`ExperimentRunner` prepares each workload once (program,
+trace, CFGs, spawn analysis, profile) and then materializes any spawn
+policy on demand.  The superscalar baseline and every policy run are
+cached, so the per-figure generators share work.
+"""
+
+from repro.polyflow import PAPER_CONFIG, PolyFlowCore, superscalar_config
+from repro.polyflow.stats import speedup_percent
+from repro.spawn import profile_spawn_points
+from repro.spawn.hints import HintTable
+from repro.workloads import WORKLOAD_NAMES, prepare_workload
+
+#: Policy spec used for the dynamic reconvergence predictor (Figure 12).
+REC_PRED_SPEC = "rec_pred"
+
+
+class ExperimentRunner:
+    """Caches workload preparation and simulation runs."""
+
+    def __init__(self, scale=1.0, config=PAPER_CONFIG, workload_names=WORKLOAD_NAMES):
+        self.scale = scale
+        self.config = config
+        self.workload_names = tuple(workload_names)
+        self._profiles = {}
+        self._baselines = {}
+        self._policy_stats = {}
+
+    # -- preparation -----------------------------------------------------------
+
+    def workload(self, name):
+        """The :class:`~repro.workloads.suite.PreparedWorkload`."""
+        return prepare_workload(name, self.scale)
+
+    def profile(self, name):
+        """The spawn profile over the union of all spawn points."""
+        if name not in self._profiles:
+            prepared = self.workload(name)
+            analysis = prepared.spawn_analysis
+            points = list(analysis.postdominator_points) + list(analysis.loop_points)
+            self._profiles[name] = profile_spawn_points(
+                prepared.trace, points, self.config.max_spawn_distance
+            )
+        return self._profiles[name]
+
+    def hint_table(self, name, spec):
+        """The hint table for one (workload, policy spec) pair."""
+        prepared = self.workload(name)
+        policy = prepared.spawn_analysis.policy(spec)
+        return self.profile(name).hint_table(policy)
+
+    # -- simulation ---------------------------------------------------------------
+
+    def baseline(self, name):
+        """Superscalar stats for ``name`` (cached)."""
+        if name not in self._baselines:
+            prepared = self.workload(name)
+            core = PolyFlowCore(
+                prepared.trace, superscalar_config(self.config), HintTable()
+            )
+            self._baselines[name] = core.run()
+        return self._baselines[name]
+
+    def run_policy(self, name, spec):
+        """PolyFlow stats for ``name`` under policy ``spec`` (cached)."""
+        key = (name, spec)
+        if key not in self._policy_stats:
+            prepared = self.workload(name)
+            if spec == REC_PRED_SPEC:
+                from repro.reconvergence import build_reconvergence_spawner
+
+                core = PolyFlowCore(prepared.trace, self.config, HintTable())
+                core.spawn_unit = build_reconvergence_spawner(
+                    prepared, self.config
+                )
+            else:
+                hints = self.hint_table(name, spec)
+                core = PolyFlowCore(prepared.trace, self.config, hints)
+            self._policy_stats[key] = core.run()
+        return self._policy_stats[key]
+
+    def speedup(self, name, spec):
+        """Speedup (%) of policy ``spec`` over the superscalar baseline."""
+        return speedup_percent(self.run_policy(name, spec), self.baseline(name))
+
+    def speedups_for_specs(self, specs):
+        """Mapping ``{workload: {spec: speedup%}}`` plus an Average row."""
+        table = {}
+        for name in self.workload_names:
+            table[name] = {spec: self.speedup(name, spec) for spec in specs}
+        table["Average"] = {
+            spec: sum(table[name][spec] for name in self.workload_names)
+            / len(self.workload_names)
+            for spec in specs
+        }
+        return table

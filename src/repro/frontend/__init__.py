@@ -1,0 +1,20 @@
+"""Front-end models: branch prediction and fetch arbitration."""
+
+from repro.frontend.branch_predictor import (
+    GSHARE_COUNTERS,
+    GSHARE_HISTORY_BITS,
+    GsharePredictor,
+    IndirectTargetPredictor,
+    ReturnAddressStack,
+)
+from repro.frontend.icount import DEFAULT_HEAD_BIAS, select_fetch_tasks
+
+__all__ = [
+    "GsharePredictor",
+    "IndirectTargetPredictor",
+    "ReturnAddressStack",
+    "select_fetch_tasks",
+    "GSHARE_COUNTERS",
+    "GSHARE_HISTORY_BITS",
+    "DEFAULT_HEAD_BIAS",
+]

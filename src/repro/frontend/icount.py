@@ -1,0 +1,50 @@
+"""Biased-ICount fetch arbitration between tasks.
+
+PolyFlow "can fetch from two tasks in a cycle, with a maximum of one
+taken branch per cycle per task.  The instruction fetch unit uses
+biased ICount to prioritize among different tasks" (Wallace et al.,
+Threaded Multiple Path Execution).  The bias favours the primary
+(least-speculative) path: the oldest fetch-ready task always gets the
+first port, because retirement — and therefore every shared resource —
+drains in task order.  Remaining ports go to the tasks with the fewest
+in-flight instructions (plain ICount), which spreads fetch over tasks
+that have had the least opportunity.
+"""
+
+#: Kept for API compatibility; the age bias is absolute (see above).
+DEFAULT_HEAD_BIAS = 16
+
+
+def select_fetch_tasks(candidates, fetch_ports, head_bias=DEFAULT_HEAD_BIAS):
+    """Choose which tasks fetch this cycle.
+
+    Args:
+        candidates: Iterable of ``(task_id, in_flight_count, age_rank)``
+            tuples for tasks able to fetch this cycle.  ``age_rank`` is
+            the task's position in program order (0 = oldest); a boolean
+            ``is_head`` flag is accepted for backward compatibility
+            (True sorts as rank 0, False as rank 1).
+        fetch_ports: Maximum number of tasks that may fetch per cycle.
+        head_bias: Unused tuning knob kept for configuration
+            compatibility; the age bias is absolute.
+
+    Returns:
+        List of up to ``fetch_ports`` task ids, highest priority first.
+    """
+    ranked = []
+    for task_id, in_flight, age_rank in candidates:
+        if age_rank is True:
+            age_rank = 0
+        elif age_rank is False:
+            age_rank = 1
+        ranked.append((age_rank, task_id, in_flight))
+    if not ranked:
+        return []
+    ranked.sort()
+    # Port one: the oldest fetch-ready task (the primary path).
+    selected = [ranked[0][1]]
+    # Remaining ports: plain ICount over the rest.
+    rest = sorted(ranked[1:], key=lambda item: (item[2], item[0]))
+    for age_rank, task_id, in_flight in rest[: fetch_ports - 1]:
+        selected.append(task_id)
+    return selected

@@ -1,0 +1,30 @@
+"""MIPS-like 64-bit instruction set: opcodes, assembler, and programs."""
+
+from repro.isa.assembler import Assembler, assemble, parse_register
+from repro.isa.disassembler import disassemble, disassemble_program
+from repro.isa.instructions import (
+    INSTRUCTION_BYTES,
+    NUM_REGISTERS,
+    WORD_BYTES,
+    Instruction,
+    Opcode,
+    format_register,
+)
+from repro.isa.program import DATA_BASE, TEXT_BASE, Program
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "parse_register",
+    "disassemble",
+    "disassemble_program",
+    "Instruction",
+    "Opcode",
+    "Program",
+    "format_register",
+    "INSTRUCTION_BYTES",
+    "NUM_REGISTERS",
+    "WORD_BYTES",
+    "TEXT_BASE",
+    "DATA_BASE",
+]

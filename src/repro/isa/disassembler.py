@@ -1,0 +1,115 @@
+"""Render decoded instructions back to assembly text."""
+
+from repro.isa.instructions import (
+    ALU_RRI_OPCODES,
+    ALU_RRR_OPCODES,
+    LOAD_OPCODES,
+    STORE_OPCODES,
+    Opcode,
+    format_register,
+)
+
+_MNEMONICS = {
+    Opcode.ADD: "add",
+    Opcode.SUB: "sub",
+    Opcode.MUL: "mul",
+    Opcode.AND: "and",
+    Opcode.OR: "or",
+    Opcode.XOR: "xor",
+    Opcode.SLT: "slt",
+    Opcode.SLL: "sll",
+    Opcode.SRL: "srl",
+    Opcode.ADDI: "addi",
+    Opcode.ANDI: "andi",
+    Opcode.ORI: "ori",
+    Opcode.XORI: "xori",
+    Opcode.SLTI: "slti",
+    Opcode.SLLI: "slli",
+    Opcode.SRLI: "srli",
+    Opcode.LUI: "lui",
+    Opcode.LW: "lw",
+    Opcode.LH: "lh",
+    Opcode.LB: "lb",
+    Opcode.SW: "sw",
+    Opcode.SH: "sh",
+    Opcode.SB: "sb",
+    Opcode.BEQ: "beq",
+    Opcode.BNE: "bne",
+    Opcode.BGEZ: "bgez",
+    Opcode.BGTZ: "bgtz",
+    Opcode.BLEZ: "blez",
+    Opcode.BLTZ: "bltz",
+    Opcode.J: "j",
+    Opcode.JAL: "jal",
+    Opcode.JR: "jr",
+    Opcode.JALR: "jalr",
+    Opcode.NOP: "nop",
+    Opcode.HALT: "halt",
+}
+
+
+def disassemble(instruction):
+    """Render one :class:`~repro.isa.instructions.Instruction` as text.
+
+    Branch and jump targets are rendered as absolute hex addresses.
+    """
+    opcode = instruction.opcode
+    mnemonic = _MNEMONICS[opcode]
+    if opcode in ALU_RRR_OPCODES:
+        return "{} {}, {}, {}".format(
+            mnemonic,
+            format_register(instruction.rd),
+            format_register(instruction.rs),
+            format_register(instruction.rt),
+        )
+    if opcode in ALU_RRI_OPCODES:
+        return "{} {}, {}, {}".format(
+            mnemonic,
+            format_register(instruction.rd),
+            format_register(instruction.rs),
+            instruction.imm,
+        )
+    if opcode == Opcode.LUI:
+        return "lui {}, {}".format(format_register(instruction.rd), instruction.imm)
+    if opcode in LOAD_OPCODES:
+        return "{} {}, {}({})".format(
+            mnemonic,
+            format_register(instruction.rd),
+            instruction.imm,
+            format_register(instruction.rs),
+        )
+    if opcode in STORE_OPCODES:
+        return "{} {}, {}({})".format(
+            mnemonic,
+            format_register(instruction.rt),
+            instruction.imm,
+            format_register(instruction.rs),
+        )
+    if opcode in (Opcode.BEQ, Opcode.BNE):
+        return "{} {}, {}, {:#x}".format(
+            mnemonic,
+            format_register(instruction.rs),
+            format_register(instruction.rt),
+            instruction.target,
+        )
+    if opcode in (Opcode.BGEZ, Opcode.BGTZ, Opcode.BLEZ, Opcode.BLTZ):
+        return "{} {}, {:#x}".format(
+            mnemonic, format_register(instruction.rs), instruction.target
+        )
+    if opcode in (Opcode.J, Opcode.JAL):
+        return "{} {:#x}".format(mnemonic, instruction.target)
+    if opcode in (Opcode.JR, Opcode.JALR):
+        return "{} {}".format(mnemonic, format_register(instruction.rs))
+    return mnemonic  # NOP / HALT
+
+
+def disassemble_program(program, start_pc=None, count=None):
+    """Yield ``(pc, text)`` pairs for a program's instructions."""
+    emitted = 0
+    for instruction in program.instructions:
+        if start_pc is not None and instruction.pc < start_pc:
+            continue
+        if count is not None and emitted >= count:
+            return
+        emitted += 1
+        yield instruction.pc, disassemble(instruction)

@@ -1,0 +1,6 @@
+"""Cache models: set-associative caches and the Figure 8 hierarchy."""
+
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import CacheHierarchy
+
+__all__ = ["Cache", "CacheHierarchy"]

@@ -1,0 +1,32 @@
+"""The PolyFlow speculative parallelization machine model."""
+
+from repro.polyflow.config import (
+    PAPER_CONFIG,
+    MachineConfig,
+    figure8_rows,
+    superscalar_config,
+)
+from repro.polyflow.core import PolyFlowCore, simulate, simulate_superscalar
+from repro.polyflow.dependences import StoreSetPredictor
+from repro.polyflow.spawn_unit import SpawnUnit
+from repro.polyflow.stats import SimStats, speedup_percent
+from repro.polyflow.task import Task
+from repro.polyflow.timeline import FetchEvent, TimelineTracer, trace_fetch_timeline
+
+__all__ = [
+    "MachineConfig",
+    "PAPER_CONFIG",
+    "superscalar_config",
+    "figure8_rows",
+    "PolyFlowCore",
+    "simulate",
+    "simulate_superscalar",
+    "StoreSetPredictor",
+    "SpawnUnit",
+    "SimStats",
+    "speedup_percent",
+    "Task",
+    "FetchEvent",
+    "TimelineTracer",
+    "trace_fetch_timeline",
+]

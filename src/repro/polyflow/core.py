@@ -1,0 +1,651 @@
+"""The PolyFlow cycle-level timing model.
+
+A trace-driven model of the machine in the paper's Figure 7/8: a
+simultaneously multithreaded core running up to 8 tasks, with a Task
+Spawn Unit, a shared reorder buffer and scheduler, a divert queue for
+synchronizing inter-task dependences, and the Figure 8 memory system.
+
+Model summary (see DESIGN.md section 6 for the full rationale):
+
+* Tasks are contiguous segments of the committed trace.  A spawn at
+  trace index *i* targeting PC *p* starts a new task at the next
+  dynamic instance of *p* — the control-equivalence property.
+* Only the tail (youngest) task spawns, as in the paper.
+* A branch mispredict stalls only the fetch of its own task until the
+  branch resolves (minimum penalty applies); other tasks keep fetching
+  — this is how control-equivalent tasks tolerate mispredictions.
+* Inter-task register dependences always synchronize through the divert
+  queue (the compiler-generated hint information covers them).
+  Inter-task memory dependences are learned by a store-set predictor;
+  an unlearned conflict squashes the violating task and all younger
+  tasks, then trains the predictor.
+* Wrong-path fetch is modelled as refill bubbles, not as executed
+  wrong-path instructions.
+
+The head (oldest) task gets small reserved shares of the ROB and
+scheduler so that it can always make forward progress (younger tasks
+can never starve the non-speculative task into deadlock).
+"""
+
+import heapq
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.frontend.branch_predictor import GsharePredictor, IndirectTargetPredictor
+from repro.frontend.icount import select_fetch_tasks
+from repro.memory.hierarchy import CacheHierarchy
+from repro.polyflow.config import PAPER_CONFIG, superscalar_config
+from repro.polyflow.dependences import StoreSetPredictor
+from repro.polyflow.spawn_unit import SpawnUnit
+from repro.polyflow.stats import SimStats
+from repro.polyflow.task import Task
+from repro.spawn.hints import HintTable
+
+_RA = 31
+
+# Instruction states.
+_FREE = 0
+_DIVERT = 1
+_WAIT = 2
+_READY = 3
+_EXEC = 4
+_DONE = 5
+_RETIRED = 6
+
+# Event kinds.
+_EV_COMPLETE = 0
+_EV_READY = 1
+
+#: ROB entries only the head task may use.
+_HEAD_ROB_RESERVE = 32
+#: Scheduler entries only the head task may use.
+_HEAD_SCHED_RESERVE = 8
+
+
+class PolyFlowCore:
+    """One simulation run of the PolyFlow core over a trace."""
+
+    def __init__(self, trace, config=PAPER_CONFIG, hint_table=None, max_cycles=None):
+        self.trace = trace
+        self.config = config
+        self.hint_table = hint_table if hint_table is not None else HintTable()
+        self.stats = SimStats()
+        self.hierarchy = CacheHierarchy()
+        self.gshare = GsharePredictor(config.gshare_counters, config.gshare_history_bits)
+        self.indirect_predictor = IndirectTargetPredictor()
+        self.store_sets = StoreSetPredictor()
+        self.spawn_unit = SpawnUnit(trace, self.hint_table, config)
+        count = len(trace)
+        self.max_cycles = max_cycles if max_cycles is not None else 400 * count + 10_000
+        # Per-trace-index dynamic state.
+        self._state = bytearray(count)
+        self._gen = [0] * count
+        self._wait_count = [0] * count
+        self._earliest = [0] * count
+        self._fetch_cycle = [0] * count
+        self._owner = [0] * count
+        self._sched_used = {}
+        self._dependents = {}
+        self._divert_producers = {}
+        self._unsafe_mem = {}
+        # Machine structures.
+        self._tasks = deque()
+        self._events = {}
+        self._ready_heap = []
+        self._divert_fifo = deque()
+        self._rob_occupancy = 0
+        self._sched_occupancy = 0
+        self._divert_occupancy = 0
+        self._retire_ptr = 0
+        self._next_task_id = 0
+        self._cycle = 0
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self):
+        """Simulate the whole trace; returns the :class:`SimStats`."""
+        if not len(self.trace):
+            return self.stats
+        if self.config.warm_caches:
+            self._warm_caches()
+        self._tasks.append(self._new_task(0))
+        count = len(self.trace)
+        while self._retire_ptr < count:
+            self._cycle += 1
+            if self._cycle > self.max_cycles:
+                raise SimulationError(
+                    "no forward progress after {} cycles (retired {}/{})".format(
+                        self.max_cycles, self._retire_ptr, count
+                    )
+                )
+            self._process_events()
+            self._retire()
+            self._drain_divert_queue()
+            self._issue()
+            self._fetch()
+            self.stats.task_occupancy_sum += len(self._tasks)
+        self.stats.cycles = self._cycle
+        self.stats.cache_stats = self.hierarchy.statistics()
+        return self.stats
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _warm_caches(self):
+        """Replay the trace's footprint to model post-fast-forward state.
+
+        The paper fast-forwards through each benchmark's initialization
+        phase before measuring, so the measured region starts with warm
+        caches.  The replay applies the trace's accesses once (without
+        timing), leaving realistic LRU state: footprints larger than a
+        cache level keep missing during measurement.
+        """
+        hierarchy = self.hierarchy
+        l1i = hierarchy.l1i
+        last_line = None
+        for record in self.trace.records:
+            line = l1i.line_address(record.inst.pc)
+            if line != last_line:
+                hierarchy.fetch_latency(record.inst.pc)
+                last_line = line
+            if record.mem_keys:
+                hierarchy.data_latency(record.mem_keys[0] << 3)
+        hierarchy.reset_statistics()
+
+    def _new_task(self, start_index, spawn_point=None):
+        task = Task(self._next_task_id, start_index, spawn_point)
+        self._next_task_id += 1
+        return task
+
+    def _schedule(self, cycle, kind, index):
+        self._events.setdefault(cycle, []).append((kind, index, self._gen[index]))
+
+    # -- pipeline stages ---------------------------------------------------------
+
+    def _process_events(self):
+        events = self._events.pop(self._cycle, None)
+        if not events:
+            return
+        state = self._state
+        gen = self._gen
+        for kind, index, generation in events:
+            if gen[index] != generation:
+                continue
+            if kind == _EV_READY:
+                if state[index] == _READY:
+                    heapq.heappush(self._ready_heap, index)
+                continue
+            # Completion.
+            if state[index] != _EXEC:
+                continue
+            state[index] = _DONE
+            self._resolve_waiting_branch(index)
+            consumers = self._dependents.pop(index, None)
+            if not consumers:
+                continue
+            for consumer, consumer_gen in consumers:
+                if gen[consumer] != consumer_gen or state[consumer] != _WAIT:
+                    continue
+                self._wait_count[consumer] -= 1
+                if self._wait_count[consumer] == 0:
+                    state[consumer] = _READY
+                    ready_at = max(self._cycle + 1, self._earliest[consumer])
+                    if ready_at <= self._cycle:
+                        heapq.heappush(self._ready_heap, consumer)
+                    else:
+                        self._schedule(ready_at, _EV_READY, consumer)
+
+    def _resolve_waiting_branch(self, index):
+        for task in self._tasks:
+            if task.waiting_branch_index == index:
+                resume = max(
+                    self._cycle + 1,
+                    self._fetch_cycle[index] + self.config.mispredict_penalty,
+                )
+                task.waiting_branch_index = None
+                task.fetch_stall_until = resume
+                return
+
+    def _retire(self):
+        state = self._state
+        count = len(self.trace)
+        retired = 0
+        width = self.config.width
+        tasks = self._tasks
+        while retired < width and self._retire_ptr < count:
+            index = self._retire_ptr
+            if state[index] != _DONE:
+                break
+            state[index] = _RETIRED
+            self._rob_occupancy -= 1
+            self._retire_ptr = index + 1
+            retired += 1
+            head = tasks[0]
+            head.in_flight -= 1
+            if head.end_index is not None and self._retire_ptr >= head.end_index:
+                tasks.popleft()
+        self.stats.retired_instructions += retired
+
+    def _drain_divert_queue(self):
+        fifo = self._divert_fifo
+        if not fifo:
+            return
+        state = self._state
+        gen = self._gen
+        # Forward-progress guarantee: the globally oldest unretired
+        # instruction may always leave the divert queue, even past
+        # scheduler capacity (it will issue and retire immediately,
+        # unclogging consumers that fill the scheduler).
+        release_state = _WAIT if self.config.divert_release == "dispatch" else _DONE
+        oldest = self._retire_ptr
+        if state[oldest] == _DIVERT:
+            producers = self._divert_producers[oldest]
+            if all(state[p] >= _WAIT for p in producers):
+                for position, (entry_index, entry_gen) in enumerate(fifo):
+                    if entry_index == oldest and entry_gen == gen[oldest]:
+                        del fifo[position]
+                        break
+                del self._divert_producers[oldest]
+                self._divert_occupancy -= 1
+                self._enter_scheduler(oldest)
+        if not fifo:
+            return
+        moved = 0
+        scanned = 0
+        max_scan = 64
+        # Non-head entries must not consume the scheduler share reserved
+        # for the head task, or they starve it into deadlock.
+        shared_cap = self.config.scheduler_entries - _HEAD_SCHED_RESERVE
+        full_cap = self.config.scheduler_entries
+        head = self._tasks[0] if self._tasks else None
+        head_end = head.end_index if head is not None else None
+        index_in_fifo = 0
+        while index_in_fifo < len(fifo) and scanned < max_scan:
+            entry_index, entry_gen = fifo[index_in_fifo]
+            scanned += 1
+            if gen[entry_index] != entry_gen or state[entry_index] != _DIVERT:
+                # Squashed entry: lazily delete.
+                del fifo[index_in_fifo]
+                continue
+            producers = self._divert_producers[entry_index]
+            if any(state[p] < release_state for p in producers):
+                index_in_fifo += 1
+                continue
+            owned_by_head = head is not None and (
+                head_end is None or entry_index < head_end
+            )
+            cap = full_cap if owned_by_head else shared_cap
+            if self._sched_occupancy >= cap:
+                index_in_fifo += 1
+                continue
+            if not owned_by_head and (
+                self._sched_used.get(self._owner[entry_index], 0)
+                >= self.config.scheduler_per_task_quota
+            ):
+                index_in_fifo += 1
+                continue
+            del fifo[index_in_fifo]
+            del self._divert_producers[entry_index]
+            self._divert_occupancy -= 1
+            self._enter_scheduler(entry_index)
+            moved += 1
+            if moved >= self.config.width:
+                break
+
+    def _enter_scheduler(self, index):
+        """Move a (diverted or fresh) instruction into the scheduler."""
+        record = self.trace.records[index]
+        state = self._state
+        pending = 0
+        for producer in record.reg_deps:
+            if producer >= 0 and state[producer] < _DONE:
+                self._dependents.setdefault(producer, []).append(
+                    (index, self._gen[index])
+                )
+                pending += 1
+        mem_producer = record.mem_dep
+        if (
+            record.inst.is_load
+            and mem_producer >= 0
+            and index not in self._unsafe_mem
+            and state[mem_producer] < _DONE
+        ):
+            self._dependents.setdefault(mem_producer, []).append(
+                (index, self._gen[index])
+            )
+            pending += 1
+        self._sched_occupancy += 1
+        owner = self._owner[index]
+        self._sched_used[owner] = self._sched_used.get(owner, 0) + 1
+        self._wait_count[index] = pending
+        if pending:
+            state[index] = _WAIT
+        else:
+            state[index] = _READY
+            ready_at = max(self._cycle + 1, self._earliest[index])
+            self._schedule(ready_at, _EV_READY, index)
+
+    def _issue(self):
+        heap = self._ready_heap
+        if not heap:
+            return
+        state = self._state
+        issued = 0
+        units = self.config.functional_units
+        deferred = []
+        while heap and issued < units:
+            index = heapq.heappop(heap)
+            if state[index] != _READY:
+                continue
+            if self._earliest[index] > self._cycle:
+                deferred.append(index)
+                continue
+            record = self.trace.records[index]
+            inst = record.inst
+            if inst.is_load:
+                unsafe_producer = self._unsafe_mem.get(index)
+                if unsafe_producer is not None and state[unsafe_producer] < _DONE:
+                    self._handle_violation(index, unsafe_producer)
+                    # The violator (and the heap contents from younger
+                    # tasks) were squashed; issue no more this cycle.
+                    break
+                latency = self.hierarchy.data_latency(record.mem_keys[0] << 3)
+            elif inst.is_store:
+                self.hierarchy.data_latency(record.mem_keys[0] << 3)
+                latency = 1
+            elif inst.latency_class == "mul":
+                latency = self.config.mul_latency
+            else:
+                latency = 1
+            state[index] = _EXEC
+            self._sched_occupancy -= 1
+            self._sched_used[self._owner[index]] -= 1
+            self._schedule(self._cycle + latency, _EV_COMPLETE, index)
+            issued += 1
+        for index in deferred:
+            heapq.heappush(heap, index)
+
+    # -- violations and squashes -------------------------------------------------
+
+    def _task_position_of_index(self, index):
+        for position, task in enumerate(self._tasks):
+            end = task.end_index
+            if index >= task.start_index and (end is None or index < end):
+                return position
+        raise SimulationError(
+            "trace index {} belongs to no active task".format(index)
+        )
+
+    def _handle_violation(self, load_index, store_index):
+        records = self.trace.records
+        store_pc = records[store_index].inst.pc
+        load_pc = records[load_index].inst.pc
+        self.store_sets.train_violation(store_pc, load_pc)
+        position = self._task_position_of_index(load_index)
+        violator = self._tasks[position]
+        if violator.spawn_point is not None:
+            self.spawn_unit.record_squash(violator.spawn_point.trigger_pc)
+        self._squash_from(position)
+        self.stats.violation_squashes += 1
+
+    def _squash_from(self, position):
+        """Squash tasks[position:] and rewind their fetch."""
+        state = self._state
+        gen = self._gen
+        squashed = 0
+        for task in list(self._tasks)[position:]:
+            for index in range(task.start_index, task.fetch_index):
+                current = state[index]
+                if current == _FREE:
+                    continue
+                if current == _DIVERT:
+                    self._divert_occupancy -= 1
+                    self._divert_producers.pop(index, None)
+                elif current in (_WAIT, _READY):
+                    self._sched_occupancy -= 1
+                    self._sched_used[self._owner[index]] -= 1
+                state[index] = _FREE
+                gen[index] += 1
+                self._rob_occupancy -= 1
+                self._dependents.pop(index, None)
+                self._unsafe_mem.pop(index, None)
+                squashed += 1
+            task.reset_for_squash(self._cycle, self.config.squash_restart_penalty)
+        self.stats.squashed_instructions += squashed
+
+    # -- fetch --------------------------------------------------------------------
+
+    def _fetch(self):
+        tasks = self._tasks
+        cycle = self._cycle
+        candidates = []
+        for position, task in enumerate(tasks):
+            if task.can_fetch(cycle):
+                candidates.append((task.task_id, task.in_flight, position))
+        if not candidates:
+            return
+        selected = select_fetch_tasks(
+            candidates, self.config.fetch_tasks_per_cycle, self.config.head_bias
+        )
+        by_id = {task.task_id: task for task in tasks}
+        # Each selected task owns an equal share of the fetch width (two
+        # 4-wide fetch streams on the 8-wide PolyFlow, one 8-wide stream
+        # on the superscalar): fetch units cannot recombine dynamically.
+        share = self.config.width // max(len(selected), 1)
+        for task_id in selected:
+            self._fetch_from_task(by_id[task_id], share)
+
+    def _fetch_from_task(self, task, budget):
+        records = self.trace.records
+        state = self._state
+        config = self.config
+        cycle = self._cycle
+        is_head = task is self._tasks[0]
+        rob_cap = config.rob_entries
+        sched_cap = config.scheduler_entries
+        divert_cap = config.divert_queue_entries
+        if not is_head:
+            rob_cap -= _HEAD_ROB_RESERVE
+            sched_cap -= _HEAD_SCHED_RESERVE
+        count = len(records)
+
+        while budget > 0:
+            index = task.fetch_index
+            if index >= count:
+                break
+            if task.end_index is not None and index >= task.end_index:
+                break
+            if self._rob_occupancy >= rob_cap:
+                break
+            record = records[index]
+            inst = record.inst
+            pc = inst.pc
+
+            # Instruction cache: one access per new line.
+            line = self.hierarchy.l1i.line_address(pc)
+            if line != task.last_fetch_line:
+                latency = self.hierarchy.fetch_latency(pc)
+                task.last_fetch_line = line
+                if latency > 1:
+                    task.fetch_stall_until = cycle + latency
+                    self.stats.icache_stall_cycles += latency - 1
+                    break
+
+            # Decide dispatch target and check its capacity.
+            divert_producers, unsafe_producer = self._inter_task_producers(
+                record, task
+            )
+            if divert_producers is not None:
+                if self._divert_occupancy >= divert_cap:
+                    break
+            else:
+                if self._sched_occupancy >= sched_cap:
+                    break
+                if (
+                    not is_head
+                    and self._sched_used.get(task.task_id, 0)
+                    >= config.scheduler_per_task_quota
+                ):
+                    break
+
+            # Consume the instruction.
+            task.fetch_index = index + 1
+            task.in_flight += 1
+            self._rob_occupancy += 1
+            self._gen[index] += 1
+            self._owner[index] = task.task_id
+            self._fetch_cycle[index] = cycle
+            self._earliest[index] = cycle + config.frontend_latency
+            self.stats.fetched_instructions += 1
+            if unsafe_producer is not None:
+                self._unsafe_mem[index] = unsafe_producer
+            budget -= 1
+
+            if divert_producers is not None:
+                state[index] = _DIVERT
+                self._divert_occupancy += 1
+                self._divert_producers[index] = divert_producers
+                self._divert_fifo.append((index, self._gen[index]))
+                self.stats.diverted_instructions += 1
+            else:
+                self._enter_scheduler(index)
+            if task.spawn_point is not None:
+                self.spawn_unit.record_task_instruction(
+                    task.spawn_point.trigger_pc, divert_producers is not None
+                )
+
+            # Spawning: the tail task extends the task list; with the
+            # nested-spawns extension (the paper's future work), a
+            # non-tail task may additionally split its own segment to
+            # spawn past an inner branch.
+            if len(self._tasks) < config.max_tasks:
+                if task.end_index is None and task is self._tasks[-1]:
+                    target = self.spawn_unit.spawn_target(index, pc)
+                    if target >= 0:
+                        self._spawn(task, pc, target)
+                elif config.nested_spawns and task.end_index is not None:
+                    target = self.spawn_unit.spawn_target(index, pc)
+                    if 0 <= target < task.end_index:
+                        self._spawn_nested(task, pc, target)
+
+            # Control flow effects on fetch.
+            if inst.is_conditional_branch:
+                self.stats.conditional_branches += 1
+                prediction = self.gshare.predict_and_update(pc, record.taken)
+                if prediction != record.taken:
+                    self.stats.branch_mispredicts += 1
+                    task.waiting_branch_index = index
+                    break
+                if record.taken:
+                    break  # one taken branch per task per cycle
+            elif inst.is_call:
+                task.ras.push(inst.fall_through_pc())
+                if inst.is_indirect_jump:
+                    if not self.indirect_predictor.predict_and_update(
+                        pc, record.next_pc
+                    ):
+                        self.stats.indirect_mispredicts += 1
+                        task.waiting_branch_index = index
+                break
+            elif inst.is_return_like:
+                if inst.rs == _RA:
+                    predicted = task.ras.pop()
+                    if predicted != record.next_pc:
+                        self.stats.return_mispredicts += 1
+                        task.waiting_branch_index = index
+                else:
+                    if not self.indirect_predictor.predict_and_update(
+                        pc, record.next_pc
+                    ):
+                        self.stats.indirect_mispredicts += 1
+                        task.waiting_branch_index = index
+                break
+            elif inst.is_direct_jump:
+                break  # taken transfer; direct targets predict perfectly
+        return budget
+
+    def _inter_task_producers(self, record, task):
+        """Producers that force this instruction into the divert queue.
+
+        Returns ``(producers, unsafe_producer)``.  ``producers`` is a
+        list of trace indices the instruction must divert on, or None
+        when it may dispatch straight into the scheduler.  Register
+        dependences on older tasks always divert (hint-predicted);
+        memory dependences divert only when the store-set predictor has
+        learned the pair — otherwise ``unsafe_producer`` names the
+        older-task store the load will speculate past (risking a
+        violation squash).
+        """
+        start = task.start_index
+        state = self._state
+        producers = None
+        unsafe_producer = None
+        for producer in record.reg_deps:
+            if producer >= 0 and producer < start and state[producer] < _DONE:
+                if producers is None:
+                    producers = [producer]
+                else:
+                    producers.append(producer)
+        if record.inst.is_load:
+            mem_producer = record.mem_dep
+            if mem_producer >= 0 and mem_producer < start:
+                if state[mem_producer] < _DONE:
+                    store_pc = self.trace.records[mem_producer].inst.pc
+                    if self.store_sets.predicts_dependence(store_pc, record.inst.pc):
+                        if producers is None:
+                            producers = [mem_producer]
+                        else:
+                            producers.append(mem_producer)
+                    else:
+                        unsafe_producer = mem_producer
+        return producers, unsafe_producer
+
+    def _spawn_nested(self, task, trigger_pc, target_index):
+        """Split a bounded task's segment at ``target_index``.
+
+        The new task takes over the split-off suffix of the spawner's
+        segment, entering the task list right after it (trace order is
+        preserved).  This is the future-work extension that lets
+        PolyFlow spawn past the branch of an inner hammock even though
+        an outer spawn already bounded the task.
+        """
+        hint = self.spawn_unit.hint_for(trigger_pc)
+        spawn_point = hint.spawn_point if hint is not None else None
+        new_task = self._new_task(target_index, spawn_point)
+        new_task.end_index = task.end_index
+        new_task.fetch_stall_until = self._cycle + 1
+        new_task.adopt_spawner_ras(task.ras)
+        task.end_index = target_index
+        # Insert after the spawner to keep the deque sorted by segment.
+        position = self._task_position_of_index(task.start_index)
+        self._tasks.insert(position + 1, new_task)
+        self.spawn_unit.record_spawn(trigger_pc)
+        self.stats.tasks_created += 1
+        self.stats.nested_spawns += 1
+        if spawn_point is not None:
+            self.stats.spawns_by_category[spawn_point.category] += 1
+
+    def _spawn(self, tail, trigger_pc, target_index):
+        hint = self.spawn_unit.hint_for(trigger_pc)
+        spawn_point = hint.spawn_point if hint is not None else None
+        tail.end_index = target_index
+        new_task = self._new_task(target_index, spawn_point)
+        # The spawned task starts fetching the cycle after the spawn,
+        # inheriting the spawner's call context (return address stack).
+        new_task.fetch_stall_until = self._cycle + 1
+        new_task.adopt_spawner_ras(tail.ras)
+        self._tasks.append(new_task)
+        self.spawn_unit.record_spawn(trigger_pc)
+        self.stats.tasks_created += 1
+        if spawn_point is not None:
+            self.stats.spawns_by_category[spawn_point.category] += 1
+
+
+def simulate(trace, config=PAPER_CONFIG, hint_table=None, max_cycles=None):
+    """Run the PolyFlow model over ``trace`` and return its stats."""
+    return PolyFlowCore(trace, config, hint_table, max_cycles).run()
+
+
+def simulate_superscalar(trace, base_config=PAPER_CONFIG, max_cycles=None):
+    """Run the superscalar baseline (same resources, one task)."""
+    config = superscalar_config(base_config)
+    return PolyFlowCore(trace, config, HintTable(), max_cycles).run()

@@ -1,0 +1,45 @@
+"""Inter-task memory dependence prediction (store-set style).
+
+PolyFlow synchronizes inter-task data dependences conservatively,
+"without any value prediction or selective re-execution".  Register
+dependences are covered by the compiler-generated hint information and
+always synchronize.  Memory dependences are learned: the predictor
+starts empty, and the first time a load in a younger task executes
+before the older-task store it actually depends on, the violating task
+(and all tasks beyond it) is squashed and the (store PC, load PC) pair
+is learned.  From then on the load is diverted until the store
+completes — the synchronizing behaviour of Stone et al.'s
+Synchronizing Store Sets.
+"""
+
+
+class StoreSetPredictor:
+    """PC-pair memory dependence predictor."""
+
+    def __init__(self):
+        #: load PC -> set of store PCs it must synchronize with.
+        self._store_sets = {}
+        self.predictions = 0
+        self.violations = 0
+
+    def predicts_dependence(self, store_pc, load_pc):
+        """Whether the load must wait for this store (learned pair)."""
+        stores = self._store_sets.get(load_pc)
+        if stores is not None and store_pc in stores:
+            self.predictions += 1
+            return True
+        return False
+
+    def train_violation(self, store_pc, load_pc):
+        """Learn a pair after a violation squash."""
+        self.violations += 1
+        self._store_sets.setdefault(load_pc, set()).add(store_pc)
+
+    def learned_pairs(self):
+        """Number of learned (store, load) pairs."""
+        return sum(len(stores) for stores in self._store_sets.values())
+
+    def __repr__(self):
+        return "StoreSetPredictor(pairs={}, violations={})".format(
+            self.learned_pairs(), self.violations
+        )

@@ -1,0 +1,91 @@
+"""Simulation statistics."""
+
+from collections import defaultdict
+
+
+class SimStats:
+    """Counters collected by one cycle-level simulation run."""
+
+    def __init__(self):
+        self.cycles = 0
+        self.retired_instructions = 0
+        self.fetched_instructions = 0
+        self.tasks_created = 1  # the initial task
+        self.nested_spawns = 0  # segment splits (future-work extension)
+        self.spawns_by_category = defaultdict(int)
+        self.violation_squashes = 0
+        self.squashed_instructions = 0
+        self.diverted_instructions = 0
+        self.branch_mispredicts = 0
+        self.conditional_branches = 0
+        self.return_mispredicts = 0
+        self.indirect_mispredicts = 0
+        self.icache_stall_cycles = 0
+        self.task_occupancy_sum = 0
+        self.cache_stats = {}
+
+    @property
+    def ipc(self):
+        """Retired instructions per cycle."""
+        if not self.cycles:
+            return 0.0
+        return self.retired_instructions / self.cycles
+
+    @property
+    def branch_mispredict_rate(self):
+        """Mispredicts per conditional branch."""
+        if not self.conditional_branches:
+            return 0.0
+        return self.branch_mispredicts / self.conditional_branches
+
+    @property
+    def mean_active_tasks(self):
+        """Average number of live tasks per cycle."""
+        if not self.cycles:
+            return 0.0
+        return self.task_occupancy_sum / self.cycles
+
+    @property
+    def total_spawns(self):
+        """Dynamic spawns performed."""
+        return sum(self.spawns_by_category.values())
+
+    def as_dict(self):
+        """All statistics as a plain dictionary (for reports)."""
+        return {
+            "cycles": self.cycles,
+            "retired_instructions": self.retired_instructions,
+            "ipc": self.ipc,
+            "tasks_created": self.tasks_created,
+            "nested_spawns": self.nested_spawns,
+            "total_spawns": self.total_spawns,
+            "spawns_by_category": {
+                str(category): count
+                for category, count in sorted(
+                    self.spawns_by_category.items(), key=lambda item: str(item[0])
+                )
+            },
+            "violation_squashes": self.violation_squashes,
+            "squashed_instructions": self.squashed_instructions,
+            "diverted_instructions": self.diverted_instructions,
+            "branch_mispredicts": self.branch_mispredicts,
+            "branch_mispredict_rate": self.branch_mispredict_rate,
+            "mean_active_tasks": self.mean_active_tasks,
+            "cache_stats": dict(self.cache_stats),
+        }
+
+    def __repr__(self):
+        return "SimStats(ipc={:.3f}, cycles={}, spawns={})".format(
+            self.ipc, self.cycles, self.total_spawns
+        )
+
+
+def speedup_percent(polyflow_stats, baseline_stats):
+    """Speedup of PolyFlow over the baseline, in percent.
+
+    Both runs retire the same trace, so the speedup is the inverse
+    cycle ratio.
+    """
+    if polyflow_stats.cycles == 0:
+        return 0.0
+    return (baseline_stats.cycles / polyflow_stats.cycles - 1.0) * 100.0

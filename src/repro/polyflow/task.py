@@ -1,0 +1,75 @@
+"""Task state for the PolyFlow core.
+
+A task is a contiguous segment of the committed trace.  The tail task
+is unbounded until it spawns a successor, at which point its segment
+ends where the new task begins (the spawn target's dynamic instance).
+"""
+
+from repro.frontend.branch_predictor import ReturnAddressStack
+
+
+class Task:
+    """One active task (a trace segment being fetched and executed)."""
+
+    __slots__ = (
+        "task_id",
+        "start_index",
+        "end_index",
+        "fetch_index",
+        "fetch_stall_until",
+        "waiting_branch_index",
+        "in_flight",
+        "ras",
+        "_spawn_ras",
+        "last_fetch_line",
+        "spawn_point",
+    )
+
+    def __init__(self, task_id, start_index, spawn_point=None):
+        self.task_id = task_id
+        self.start_index = start_index
+        #: Exclusive end of the segment; None while this is the tail.
+        self.end_index = None
+        self.fetch_index = start_index
+        self.fetch_stall_until = 0
+        #: Trace index of an unresolved mispredicted branch, if any.
+        self.waiting_branch_index = None
+        #: Fetched but not yet retired instructions (ICount input).
+        self.in_flight = 0
+        self.ras = ReturnAddressStack()
+        self._spawn_ras = ReturnAddressStack()
+        self.last_fetch_line = None
+        #: The static spawn point that created this task (None for the
+        #: initial task).
+        self.spawn_point = spawn_point
+
+    def finished_fetch(self):
+        """Whether the segment has been fully fetched."""
+        return self.end_index is not None and self.fetch_index >= self.end_index
+
+    def can_fetch(self, cycle):
+        """Whether this task may fetch in ``cycle``."""
+        return (
+            not self.finished_fetch()
+            and self.waiting_branch_index is None
+            and cycle >= self.fetch_stall_until
+        )
+
+    def adopt_spawner_ras(self, spawner_ras):
+        """Inherit the spawner's call context (kept for squash replay)."""
+        self.ras.copy_from(spawner_ras)
+        self._spawn_ras.copy_from(spawner_ras)
+
+    def reset_for_squash(self, cycle, restart_penalty):
+        """Rewind fetch to the segment start after a squash."""
+        self.fetch_index = self.start_index
+        self.in_flight = 0
+        self.fetch_stall_until = cycle + restart_penalty
+        self.waiting_branch_index = None
+        self.last_fetch_line = None
+        self.ras.copy_from(self._spawn_ras)
+
+    def __repr__(self):
+        return "Task(id={}, [{}, {}), fetch={})".format(
+            self.task_id, self.start_index, self.end_index, self.fetch_index
+        )

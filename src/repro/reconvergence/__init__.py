@@ -1,0 +1,21 @@
+"""Dynamic reconvergence prediction and rec_pred spawning (Figure 12)."""
+
+from repro.reconvergence.predictor import (
+    CATEGORY_BELOW,
+    CATEGORY_UNKNOWN,
+    ReconvergencePredictor,
+)
+from repro.reconvergence.spawning import (
+    ReconvergenceSpawnUnit,
+    build_reconvergence_spawner,
+    resolve_reconvergence_targets,
+)
+
+__all__ = [
+    "ReconvergencePredictor",
+    "CATEGORY_BELOW",
+    "CATEGORY_UNKNOWN",
+    "ReconvergenceSpawnUnit",
+    "build_reconvergence_spawner",
+    "resolve_reconvergence_targets",
+]

@@ -1,0 +1,213 @@
+"""Dynamic reconvergence prediction (Collins, Tullsen and Wang).
+
+A run-time mechanism that learns, for each branch, the PC where control
+flow reconverges — approximating the immediate postdominator without
+compiler support (Section 2.4 of the paper).  The predictor profiles
+the committed instruction stream; the most important of Collins et
+al.'s four categories covers branches whose reconvergence PC lies
+*below* the branch PC in the program layout, which captures "forward
+branches corresponding to if and if-else statements, as well as
+backward loop branches".
+
+Mechanism:
+
+* **Backward conditional branches** (loop branches): the reconvergence
+  candidate is the static fall-through (branch PC + 4) — the loop exit
+  continues below the branch.  Confidence builds over the first few
+  dynamic instances (warm-up).
+* **Forward conditional branches and indirect jumps**: after each
+  dynamic instance, the PCs greater than the branch PC committed before
+  the branch executes again (bounded by a window) form that instance's
+  *continuation set*.  The rolling intersection of continuation sets
+  converges on the PCs common to every path — the join and everything
+  after it — and the candidate is its minimum.  Two consecutive stable
+  candidates train the branch.
+
+The model keeps the paper's two rec_pred failure modes: warm-up (no
+prediction until trained) and hard-to-identify reconvergences (an
+intersection that keeps collapsing never trains).
+"""
+
+#: Collins et al. category labels.
+CATEGORY_BELOW = "below"
+CATEGORY_UNKNOWN = "unknown"
+
+
+class _BranchState:
+    """Learning state for one static branch."""
+
+    __slots__ = (
+        "pc",
+        "is_backward",
+        "active",
+        "window_left",
+        "window_pcs",
+        "rolling",
+        "merged_windows",
+        "candidate",
+        "confidence",
+        "trained",
+    )
+
+    def __init__(self, pc, is_backward):
+        self.pc = pc
+        self.is_backward = is_backward
+        self.active = False
+        self.window_left = 0
+        self.window_pcs = None
+        #: Rolling intersection of continuation sets.
+        self.rolling = None
+        self.merged_windows = 0
+        self.candidate = None
+        self.confidence = 0
+        self.trained = False
+
+
+class ReconvergencePredictor:
+    """Learns branch reconvergence points from the retirement stream."""
+
+    def __init__(self, window_size=64, confidence_threshold=2):
+        self.window_size = window_size
+        self.confidence_threshold = confidence_threshold
+        self._branches = {}
+        self._active = []
+        self.trained_branches = 0
+        self.windows_closed = 0
+
+    def observe(self, pc, trigger_outcome=None, branch_target=None):
+        """Feed one committed instruction.
+
+        Args:
+            pc: The instruction's address.
+            trigger_outcome: None for non-branches.  For conditional
+                branches pass True/False (taken/not-taken); for
+                non-return indirect jumps pass the string ``"indirect"``.
+            branch_target: Static target PC of a conditional branch
+                (used to detect backward/loop branches).
+        """
+        if self._active:
+            survivors = []
+            for state in self._active:
+                if pc == state.pc:
+                    # The branch executes again: the continuation of the
+                    # previous instance ends here.
+                    self._close_window(state)
+                    continue
+                if pc > state.pc:
+                    state.window_pcs.add(pc)
+                state.window_left -= 1
+                if state.window_left <= 0:
+                    self._close_window(state)
+                else:
+                    survivors.append(state)
+            self._active = survivors
+        if trigger_outcome is None:
+            return
+        state = self._branches.get(pc)
+        if state is None:
+            is_backward = (
+                trigger_outcome != "indirect"
+                and branch_target is not None
+                and branch_target <= pc
+            )
+            state = _BranchState(pc, is_backward)
+            self._branches[pc] = state
+        if state.is_backward and state.trained:
+            return
+        if state.is_backward:
+            # Loop branch: the "below" reconvergence is the static fall
+            # through; a couple of sightings build confidence (warm-up).
+            state.candidate = pc + 4
+            state.confidence += 1
+            if state.confidence >= self.confidence_threshold:
+                state.trained = True
+                self.trained_branches += 1
+            return
+        if state.active:
+            return
+        state.active = True
+        state.window_left = self.window_size
+        state.window_pcs = set()
+        self._active.append(state)
+
+    def _close_window(self, state):
+        state.active = False
+        self.windows_closed += 1
+        window = state.window_pcs
+        state.window_pcs = None
+        if not window:
+            return
+        if state.rolling is None:
+            state.rolling = window
+            state.merged_windows = 1
+            return
+        intersection = state.rolling & window
+        state.merged_windows += 1
+        if not intersection:
+            # Hard-to-identify reconvergence: start over.
+            state.rolling = window
+            state.merged_windows = 1
+            state.confidence = 0
+            self._untrain(state)
+            return
+        state.rolling = intersection
+        sample = min(intersection)
+        if state.candidate == sample:
+            state.confidence += 1
+            # Multi-target branches (indirect dispatches) need several
+            # merged windows before the intersection has seen enough
+            # distinct paths to be trustworthy.
+            if (
+                state.confidence >= self.confidence_threshold
+                and state.merged_windows >= 4
+                and not state.trained
+            ):
+                state.trained = True
+                self.trained_branches += 1
+        else:
+            # The intersection shrank below the old candidate: the old
+            # prediction was premature, so retract it and re-learn.
+            self._untrain(state)
+            state.candidate = sample
+            state.confidence = 1
+
+    def _untrain(self, state):
+        if state.trained:
+            state.trained = False
+            self.trained_branches -= 1
+
+    def predict(self, pc):
+        """The learned reconvergence PC of the branch at ``pc``.
+
+        Returns None while the branch is warming up (or was never
+        observed, or its reconvergence is unlearnable).
+        """
+        state = self._branches.get(pc)
+        if state is None or not state.trained:
+            return None
+        return state.candidate
+
+    def category_of(self, pc):
+        """The category of the branch at ``pc``."""
+        state = self._branches.get(pc)
+        if state is None or not state.trained:
+            return CATEGORY_UNKNOWN
+        return CATEGORY_BELOW
+
+    def branch_count(self):
+        """Number of distinct branches observed."""
+        return len(self._branches)
+
+    def accuracy_against(self, ipdom_by_branch_pc):
+        """Fraction of trained branches matching the true ipdom PC."""
+        matched = 0
+        trained = 0
+        for pc, state in self._branches.items():
+            if not state.trained or pc not in ipdom_by_branch_pc:
+                continue
+            trained += 1
+            if state.candidate == ipdom_by_branch_pc[pc]:
+                matched += 1
+        if not trained:
+            return 0.0
+        return matched / trained

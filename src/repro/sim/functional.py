@@ -1,0 +1,239 @@
+"""Architectural (functional) simulator for the repro ISA.
+
+Executes a :class:`~repro.isa.program.Program` to completion (or to an
+instruction budget) and produces the committed-path
+:class:`~repro.sim.trace.Trace` that drives the timing models.  The
+paper's simulator compares out-of-order results against an architectural
+simulator at retirement; here the architectural simulator is the single
+source of truth and the timing models replay its trace.
+"""
+
+from repro.errors import ExecutionError
+from repro.isa.instructions import INSTRUCTION_BYTES, NUM_REGISTERS, Opcode
+from repro.sim.trace import Trace, TraceRecord
+
+_WORD_MASK = (1 << 64) - 1
+_SIGN_BIT = 1 << 63
+
+#: Default cap on executed instructions, to catch runaway programs.
+DEFAULT_MAX_INSTRUCTIONS = 5_000_000
+
+
+def _to_signed(value):
+    """Interpret a 64-bit pattern as a signed integer."""
+    value &= _WORD_MASK
+    if value & _SIGN_BIT:
+        return value - (1 << 64)
+    return value
+
+
+class MachineState:
+    """Architectural register file and byte-addressed memory."""
+
+    def __init__(self, program):
+        self.registers = [0] * NUM_REGISTERS
+        self.memory = dict(program.data_image)
+        self.pc = program.entry_point
+
+    def read_register(self, index):
+        """Return the 64-bit value of register ``index``."""
+        return self.registers[index]
+
+    def write_register(self, index, value):
+        """Write ``value`` to register ``index`` (writes to r0 discard)."""
+        if index != 0:
+            self.registers[index] = value & _WORD_MASK
+
+    def load(self, address, nbytes, signed=True):
+        """Load ``nbytes`` little-endian bytes from ``address``."""
+        memory = self.memory
+        value = 0
+        for offset in range(nbytes):
+            value |= memory.get(address + offset, 0) << (8 * offset)
+        if signed and value & (1 << (8 * nbytes - 1)):
+            value -= 1 << (8 * nbytes)
+        return value & _WORD_MASK
+
+    def store(self, address, value, nbytes):
+        """Store the low ``nbytes`` bytes of ``value`` at ``address``."""
+        memory = self.memory
+        for offset in range(nbytes):
+            memory[address + offset] = (value >> (8 * offset)) & 0xFF
+
+
+def _chunk_keys(address, nbytes):
+    """Word-aligned chunk keys covering [address, address + nbytes)."""
+    first = address >> 3
+    last = (address + nbytes - 1) >> 3
+    if first == last:
+        return (first,)
+    return tuple(range(first, last + 1))
+
+
+class FunctionalSimulator:
+    """Executes programs and emits committed-path traces."""
+
+    def __init__(self, program, max_instructions=DEFAULT_MAX_INSTRUCTIONS):
+        self.program = program
+        self.max_instructions = max_instructions
+
+    def run(self):
+        """Execute the program and return its :class:`Trace`.
+
+        Raises:
+            ExecutionError: On an invalid PC, a memory access outside the
+                positive address space, or other illegal behaviour.
+        """
+        program = self.program
+        state = MachineState(program)
+        registers = state.registers
+        fetch = program.fetch
+
+        records = []
+        append = records.append
+        reg_last_writer = [-1] * NUM_REGISTERS
+        mem_last_writer = {}
+
+        pc = state.pc
+        seq = 0
+        halted = False
+        max_instructions = self.max_instructions
+
+        while seq < max_instructions:
+            inst = fetch(pc)
+            opcode = inst.opcode
+            next_pc = pc + INSTRUCTION_BYTES
+            taken = False
+            mem_keys = ()
+            mem_dep = -1
+
+            if opcode <= Opcode.SRL:  # ALU register-register
+                a = registers[inst.rs]
+                b = registers[inst.rt]
+                if opcode == Opcode.ADD:
+                    value = a + b
+                elif opcode == Opcode.SUB:
+                    value = a - b
+                elif opcode == Opcode.MUL:
+                    value = _to_signed(a) * _to_signed(b)
+                elif opcode == Opcode.AND:
+                    value = a & b
+                elif opcode == Opcode.OR:
+                    value = a | b
+                elif opcode == Opcode.XOR:
+                    value = a ^ b
+                elif opcode == Opcode.SLT:
+                    value = 1 if _to_signed(a) < _to_signed(b) else 0
+                elif opcode == Opcode.SLL:
+                    value = a << (b & 63)
+                else:  # SRL
+                    value = a >> (b & 63)
+                if inst.rd:
+                    registers[inst.rd] = value & _WORD_MASK
+            elif opcode <= Opcode.SRLI:  # ALU register-immediate
+                a = registers[inst.rs]
+                imm = inst.imm
+                if opcode == Opcode.ADDI:
+                    value = a + imm
+                elif opcode == Opcode.ANDI:
+                    value = a & imm
+                elif opcode == Opcode.ORI:
+                    value = a | imm
+                elif opcode == Opcode.XORI:
+                    value = a ^ imm
+                elif opcode == Opcode.SLTI:
+                    value = 1 if _to_signed(a) < imm else 0
+                elif opcode == Opcode.SLLI:
+                    value = a << (imm & 63)
+                else:  # SRLI
+                    value = a >> (imm & 63)
+                if inst.rd:
+                    registers[inst.rd] = value & _WORD_MASK
+            elif opcode == Opcode.LUI:
+                if inst.rd:
+                    registers[inst.rd] = (inst.imm << 16) & _WORD_MASK
+            elif inst.is_load:
+                address = (registers[inst.rs] + inst.imm) & _WORD_MASK
+                nbytes = 8 if opcode == Opcode.LW else (2 if opcode == Opcode.LH else 1)
+                value = state.load(address, nbytes)
+                if inst.rd:
+                    registers[inst.rd] = value
+                mem_keys = _chunk_keys(address, nbytes)
+                for key in mem_keys:
+                    writer = mem_last_writer.get(key, -1)
+                    if writer > mem_dep:
+                        mem_dep = writer
+            elif inst.is_store:
+                address = (registers[inst.rs] + inst.imm) & _WORD_MASK
+                nbytes = 8 if opcode == Opcode.SW else (2 if opcode == Opcode.SH else 1)
+                state.store(address, registers[inst.rt], nbytes)
+                mem_keys = _chunk_keys(address, nbytes)
+                for key in mem_keys:
+                    mem_last_writer[key] = seq
+            elif inst.is_conditional_branch:
+                a = _to_signed(registers[inst.rs])
+                if opcode == Opcode.BEQ:
+                    taken = registers[inst.rs] == registers[inst.rt]
+                elif opcode == Opcode.BNE:
+                    taken = registers[inst.rs] != registers[inst.rt]
+                elif opcode == Opcode.BGEZ:
+                    taken = a >= 0
+                elif opcode == Opcode.BGTZ:
+                    taken = a > 0
+                elif opcode == Opcode.BLEZ:
+                    taken = a <= 0
+                else:  # BLTZ
+                    taken = a < 0
+                if taken:
+                    next_pc = inst.target
+            elif opcode == Opcode.J:
+                next_pc = inst.target
+                taken = True
+            elif opcode == Opcode.JAL:
+                registers[31] = next_pc
+                next_pc = inst.target
+                taken = True
+            elif opcode == Opcode.JR:
+                next_pc = registers[inst.rs]
+                taken = True
+            elif opcode == Opcode.JALR:
+                target = registers[inst.rs]
+                registers[31] = next_pc
+                next_pc = target
+                taken = True
+            elif opcode == Opcode.NOP:
+                pass
+            elif opcode == Opcode.HALT:
+                halted = True
+            else:  # pragma: no cover - all opcodes handled above
+                raise ExecutionError("unimplemented opcode {!r}".format(opcode))
+
+            # Producer edges for the timing models.
+            rs = inst.rs
+            rt = inst.rt
+            if rs is None:
+                reg_deps = ()
+            elif rt is None:
+                reg_deps = (reg_last_writer[rs],)
+            else:
+                reg_deps = (reg_last_writer[rs], reg_last_writer[rt])
+
+            append(TraceRecord(seq, inst, next_pc, taken, mem_keys, mem_dep, reg_deps))
+
+            destination = inst.rd
+            if destination:  # r0 writes are discarded
+                reg_last_writer[destination] = seq
+
+            if halted:
+                seq += 1
+                break
+            pc = next_pc
+            seq += 1
+
+        self.final_state = state
+        return Trace(records, halted)
+
+
+def run_program(program, max_instructions=DEFAULT_MAX_INSTRUCTIONS):
+    """Execute ``program`` and return its committed-path :class:`Trace`."""
+    return FunctionalSimulator(program, max_instructions).run()

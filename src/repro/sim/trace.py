@@ -1,0 +1,135 @@
+"""Dynamic trace records produced by the functional simulator.
+
+The cycle-level PolyFlow model is trace-driven: the functional simulator
+executes the program architecturally and emits one :class:`TraceRecord`
+per committed instruction.  Each record carries the information the
+timing model needs:
+
+* the static :class:`~repro.isa.instructions.Instruction`,
+* the dynamic control-flow outcome (``next_pc``, ``taken``),
+* the memory footprint of loads/stores (word-granularity chunk keys),
+* exact producer edges: for every source register (and for the memory
+  value read by a load) the sequence number of the producing dynamic
+  instruction, or ``-1`` when the value predates the trace.
+
+The paper's simulator is execution-driven but also trace-assisted ("the
+Task Spawn Unit uses a trace to ensure that tasks are not spawned too
+far into the future"); see DESIGN.md section 6 for why a trace-driven
+timing model preserves the evaluated behaviour.
+"""
+
+
+class TraceRecord:
+    """One committed dynamic instruction."""
+
+    __slots__ = (
+        "seq",
+        "inst",
+        "next_pc",
+        "taken",
+        "mem_keys",
+        "mem_dep",
+        "reg_deps",
+    )
+
+    def __init__(self, seq, inst, next_pc, taken, mem_keys, mem_dep, reg_deps):
+        self.seq = seq
+        self.inst = inst
+        self.next_pc = next_pc
+        self.taken = taken
+        #: Tuple of word-aligned chunk keys (address >> 3) touched by a
+        #: memory access; empty for non-memory instructions.
+        self.mem_keys = mem_keys
+        #: Sequence number of the youngest store this load reads from,
+        #: or -1 (also -1 for non-loads).
+        self.mem_dep = mem_dep
+        #: Tuple of producer sequence numbers, one per source register
+        #: (-1 when the register was last written before the trace began).
+        self.reg_deps = reg_deps
+
+    @property
+    def pc(self):
+        """Address of the instruction."""
+        return self.inst.pc
+
+    def __repr__(self):
+        return "TraceRecord(seq={}, pc={:#x})".format(self.seq, self.inst.pc)
+
+
+class Trace:
+    """A committed-path dynamic trace plus cross-record indexes."""
+
+    def __init__(self, records, halted):
+        self.records = records
+        #: Whether the program reached HALT (as opposed to hitting the
+        #: instruction budget).
+        self.halted = halted
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        return self.records[index]
+
+    def dynamic_pcs(self):
+        """Yield the PC of every committed instruction, in order."""
+        for record in self.records:
+            yield record.inst.pc
+
+    def slice_after(self, skip):
+        """A new trace dropping the first ``skip`` records (fast-forward).
+
+        Sequence numbers are rebased to zero; producer edges that point
+        into the dropped prefix become -1 (the value is architecturally
+        available before the measured region begins, exactly like the
+        paper's fast-forwarded initialization phase).
+        """
+        if skip <= 0:
+            return Trace(list(self.records), self.halted)
+        sliced = []
+        for record in self.records[skip:]:
+            reg_deps = tuple(
+                producer - skip if producer >= skip else -1
+                for producer in record.reg_deps
+            )
+            mem_dep = record.mem_dep - skip if record.mem_dep >= skip else -1
+            sliced.append(
+                TraceRecord(
+                    record.seq - skip,
+                    record.inst,
+                    record.next_pc,
+                    record.taken,
+                    record.mem_keys,
+                    mem_dep,
+                    reg_deps,
+                )
+            )
+        return Trace(sliced, self.halted)
+
+    def index_of_first(self, pc, after=-1):
+        """Index of the first committed instance of ``pc`` past ``after``,
+        or -1 when it never commits again."""
+        for index in range(after + 1, len(self.records)):
+            if self.records[index].inst.pc == pc:
+                return index
+        return -1
+
+    def instruction_mix(self):
+        """Return counts of {'load','store','branch','call','other'}."""
+        mix = {"load": 0, "store": 0, "branch": 0, "call": 0, "other": 0}
+        for record in self.records:
+            inst = record.inst
+            if inst.is_load:
+                mix["load"] += 1
+            elif inst.is_store:
+                mix["store"] += 1
+            elif inst.is_conditional_branch:
+                mix["branch"] += 1
+            elif inst.is_call:
+                mix["call"] += 1
+            else:
+                mix["other"] += 1
+        return mix

@@ -1,0 +1,65 @@
+"""Task selection: spawn points, categories, policies, and hints."""
+
+from repro.spawn.coverage import (
+    CoverageReport,
+    coverage,
+    heuristic_subsumption,
+)
+from repro.spawn.classify import (
+    ProcedureAnalysis,
+    classify_block,
+    classify_procedure,
+    classify_program,
+    static_distribution,
+)
+from repro.spawn.hints import HintEntry, HintTable
+from repro.spawn.loop_spawns import loop_spawn_points, loop_spawn_points_of_procedure
+from repro.spawn.points import (
+    POSTDOMINATOR_CATEGORIES,
+    SpawnCategory,
+    SpawnPoint,
+)
+from repro.spawn.policies import (
+    COMBINATION_POLICY_SPECS,
+    EXCLUSION_POLICY_SPECS,
+    INDIVIDUAL_POLICY_SPECS,
+    SpawnAnalysis,
+    SpawnPolicy,
+    merge_policies,
+    policy_from_points,
+)
+from repro.spawn.profiling import (
+    DEFAULT_MAX_SPAWN_DISTANCE,
+    PointProfile,
+    SpawnProfile,
+    profile_spawn_points,
+)
+
+__all__ = [
+    "SpawnCategory",
+    "SpawnPoint",
+    "POSTDOMINATOR_CATEGORIES",
+    "ProcedureAnalysis",
+    "classify_block",
+    "classify_procedure",
+    "classify_program",
+    "static_distribution",
+    "loop_spawn_points",
+    "loop_spawn_points_of_procedure",
+    "SpawnAnalysis",
+    "SpawnPolicy",
+    "merge_policies",
+    "policy_from_points",
+    "INDIVIDUAL_POLICY_SPECS",
+    "COMBINATION_POLICY_SPECS",
+    "EXCLUSION_POLICY_SPECS",
+    "HintEntry",
+    "HintTable",
+    "PointProfile",
+    "SpawnProfile",
+    "profile_spawn_points",
+    "DEFAULT_MAX_SPAWN_DISTANCE",
+    "CoverageReport",
+    "coverage",
+    "heuristic_subsumption",
+]

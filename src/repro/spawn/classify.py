@@ -1,0 +1,173 @@
+"""Classify control-equivalent spawn points from postdominator analysis.
+
+For every block that ends in a conditional branch, a call, or an
+indirect jump, the immediate postdominator of that block is a potential
+spawn point.  Following Section 2.2:
+
+* **loop fall-through** — the terminator is a *loop branch*: a latch
+  (back-edge source) or a branch with an edge that exits its loop
+  ("including breaks and other exit conditions");
+* **procedure fall-through** — the terminator is a call;
+* **hammock** — a non-loop conditional branch whose two arms form a
+  single-entry region converging at the ipdom (a simple if-then or
+  if-then-else statement, possibly with other constructs embedded);
+* **other** — indirect jumps, and conditional branches whose
+  control-dependent region has side entries (complex control flow that
+  heuristics do not identify).
+
+Blocks that do not end in a branching instruction are *not* spawn
+points: "the fetch unit will soon fetch those successor blocks along
+the conventional control-flow path".
+"""
+
+from repro.analysis.dominance import (
+    compute_dominator_tree,
+    compute_postdominator_tree,
+    immediate_postdominator_block,
+)
+from repro.analysis.loops import find_natural_loops
+from repro.spawn.points import SpawnCategory, SpawnPoint
+
+
+class ProcedureAnalysis:
+    """Cached analyses (pdom tree, dom tree, loops) for one procedure."""
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+        self.postdominator_tree = compute_postdominator_tree(cfg)
+        self.dominator_tree = compute_dominator_tree(cfg)
+        self.loop_forest = find_natural_loops(cfg, self.dominator_tree)
+
+    def ipdom_block(self, node):
+        """Block index of the ipdom of ``node``, or None."""
+        return immediate_postdominator_block(self.cfg, self.postdominator_tree, node)
+
+
+def _is_loop_branch(analysis, block):
+    """Whether ``block``'s terminator is a loop branch (latch or exit)."""
+    node = block.index
+    forest = analysis.loop_forest
+    for successor in analysis.cfg.successors(node):
+        if not analysis.cfg.is_exit(successor) and forest.is_back_edge(node, successor):
+            return True
+    if forest.innermost_loop_of(node) is not None:
+        for successor in analysis.cfg.successors(node):
+            if analysis.cfg.is_exit(successor) or forest.is_loop_exit_edge(
+                node, successor
+            ):
+                return True
+    return False
+
+
+def _hammock_region(cfg, branch_node, join_node):
+    """Blocks strictly between a branch and its join.
+
+    The region is every block reachable from the branch's successors
+    without passing through the join.
+    """
+    region = set()
+    worklist = [
+        successor
+        for successor in cfg.successors(branch_node)
+        if successor != join_node and not cfg.is_exit(successor)
+    ]
+    while worklist:
+        node = worklist.pop()
+        if node in region or node == join_node:
+            continue
+        region.add(node)
+        for successor in cfg.successors(node):
+            if successor != join_node and not cfg.is_exit(successor):
+                worklist.append(successor)
+    return region
+
+
+def _is_simple_hammock(analysis, branch_node, join_node):
+    """Whether branch/join delimit a single-entry (hammock) region.
+
+    Every block between the branch and the join must be dominated by the
+    branch block: no path enters the region except through the branch.
+    Complex flow (side entries from gotos, shared tails) fails this test
+    and falls into the "other" category.
+    """
+    region = _hammock_region(analysis.cfg, branch_node, join_node)
+    for node in region:
+        if not analysis.dominator_tree.dominates(branch_node, node):
+            return False
+    return True
+
+
+def classify_block(analysis, block):
+    """Classify the spawn opportunity of one block, or return None.
+
+    Returns:
+        A :class:`SpawnPoint` if the block ends in a spawn-generating
+        terminator and has an in-procedure immediate postdominator.
+    """
+    terminator = block.terminator
+    is_switch = terminator.is_indirect_jump and not terminator.is_call
+    if not (terminator.is_conditional_branch or terminator.is_call or is_switch):
+        return None
+    join = analysis.ipdom_block(block.index)
+    if join is None:
+        return None
+    spawn_pc = analysis.cfg.block(join).start_pc
+    if terminator.is_call:
+        category = SpawnCategory.PROCEDURE_FALL_THROUGH
+    elif is_switch:
+        category = SpawnCategory.OTHER
+    elif _is_loop_branch(analysis, block):
+        category = SpawnCategory.LOOP_FALL_THROUGH
+    elif _is_simple_hammock(analysis, block.index, join):
+        category = SpawnCategory.HAMMOCK
+    else:
+        category = SpawnCategory.OTHER
+    return SpawnPoint(terminator.pc, spawn_pc, category, procedure=analysis.cfg.name)
+
+
+def classify_procedure(cfg, analysis=None):
+    """All control-equivalent spawn points of one procedure."""
+    if analysis is None:
+        analysis = ProcedureAnalysis(cfg)
+    points = []
+    for block in cfg.blocks:
+        point = classify_block(analysis, block)
+        if point is not None:
+            points.append(point)
+    return points
+
+
+def classify_program(program_cfgs):
+    """All control-equivalent spawn points of a whole program.
+
+    Args:
+        program_cfgs: A :class:`~repro.cfg.builder.ProgramCFGs`.
+
+    Returns:
+        List of :class:`SpawnPoint`, ordered by trigger PC.
+    """
+    points = []
+    for cfg in program_cfgs:
+        points.extend(classify_procedure(cfg))
+    points.sort(key=lambda point: point.trigger_pc)
+    return points
+
+
+def static_distribution(points):
+    """Counts per ipdom category, as in Figure 5.
+
+    Returns:
+        Dict mapping :class:`SpawnCategory` to static spawn count
+        (loop-iteration spawns are excluded; they are not an ipdom
+        category).
+    """
+    distribution = {
+        SpawnCategory.LOOP_FALL_THROUGH: 0,
+        SpawnCategory.PROCEDURE_FALL_THROUGH: 0,
+        SpawnCategory.HAMMOCK: 0,
+        SpawnCategory.OTHER: 0,
+    }
+    for point in points:
+        if point.category in distribution:
+            distribution[point.category] += 1
+    return distribution

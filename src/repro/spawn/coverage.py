@@ -1,0 +1,94 @@
+"""Coverage analysis between spawn policies.
+
+Section 4.1's argument is that "heuristics approximate only a subset of
+the postdominance information": every heuristic's useful spawn points
+reappear in the full postdominator set, which also contains points no
+heuristic finds.  This module makes that claim queryable: given two
+policies, it reports which triggers/targets they share and which are
+unique — and, given a profile, how much dynamic spawn activity the
+overlap represents.
+"""
+
+
+class CoverageReport:
+    """Overlap between a candidate policy and a reference policy."""
+
+    def __init__(self, candidate, reference, shared, only_candidate, only_reference):
+        self.candidate = candidate
+        self.reference = reference
+        #: Spawn points with identical (trigger, target) in both.
+        self.shared = tuple(shared)
+        self.only_candidate = tuple(only_candidate)
+        self.only_reference = tuple(only_reference)
+
+    @property
+    def candidate_covered_fraction(self):
+        """Fraction of the candidate's points present in the reference."""
+        total = len(self.shared) + len(self.only_candidate)
+        if not total:
+            return 1.0
+        return len(self.shared) / total
+
+    def dynamic_covered_fraction(self, profile):
+        """Fraction of the candidate's *dynamic* spawn occurrences whose
+        spawn point also exists in the reference policy."""
+        covered = 0
+        total = 0
+        for point in self.shared:
+            point_profile = profile.of_point(point)
+            if point_profile is not None:
+                covered += point_profile.reachable_occurrences
+                total += point_profile.reachable_occurrences
+        for point in self.only_candidate:
+            point_profile = profile.of_point(point)
+            if point_profile is not None:
+                total += point_profile.reachable_occurrences
+        if not total:
+            return 1.0
+        return covered / total
+
+    def __repr__(self):
+        return "CoverageReport({!r} vs {!r}: {}/{} shared)".format(
+            self.candidate.name,
+            self.reference.name,
+            len(self.shared),
+            len(self.shared) + len(self.only_candidate),
+        )
+
+
+def coverage(candidate, reference):
+    """Compute the :class:`CoverageReport` of ``candidate`` against
+    ``reference`` (points match on exact (trigger, target) pairs)."""
+    reference_keys = {point.key() for point in reference}
+    candidate_keys = {point.key() for point in candidate}
+    shared = [point for point in candidate if point.key() in reference_keys]
+    only_candidate = [
+        point for point in candidate if point.key() not in reference_keys
+    ]
+    only_reference = [
+        point for point in reference if point.key() not in candidate_keys
+    ]
+    return CoverageReport(candidate, reference, shared, only_candidate, only_reference)
+
+
+def heuristic_subsumption(analysis):
+    """Coverage of each individual heuristic by the postdominator set.
+
+    Args:
+        analysis: A :class:`~repro.spawn.policies.SpawnAnalysis`.
+
+    Returns:
+        Dict mapping heuristic spec to its
+        :attr:`CoverageReport.candidate_covered_fraction` against the
+        ``postdoms`` policy.  The ipdom-derived heuristics (loopFT,
+        procFT, hammock, other) are covered by construction; loop
+        iteration spawns are the ones the postdominator set does *not*
+        contain directly (the paper argues their benefit is captured
+        indirectly, via hammock + loop fall-through composition).
+    """
+    postdoms = analysis.policy("postdoms")
+    fractions = {}
+    for spec in ("loopFT", "procFT", "hammock", "other", "loop"):
+        report = coverage(analysis.policy(spec), postdoms)
+        fractions[spec] = report.candidate_covered_fraction
+    return fractions

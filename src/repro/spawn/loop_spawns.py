@@ -1,0 +1,55 @@
+"""Loop-iteration spawn points (the classic TLS heuristic).
+
+Section 2.3: "For the purposes of spawning a loop iteration it is
+better to spawn the last basic block of the loop (which ends in the
+loop branch) from the loop entry, as opposed to spawning the start of
+next loop iteration from the start of current loop iteration."  The
+loop-index update sits just before the loop branch, so spawning the
+latch block keeps that update local to the task that consumes it.
+
+Accordingly, each loop contributes spawn points ``header -> latch``:
+the trigger is the first instruction of the loop header, and the
+spawned task begins at the latch block (which ends in the back-edge
+branch).
+"""
+
+from repro.spawn.classify import ProcedureAnalysis
+from repro.spawn.points import SpawnCategory, SpawnPoint
+
+
+def loop_spawn_points_of_procedure(cfg, analysis=None):
+    """Loop-iteration spawn points of one procedure."""
+    if analysis is None:
+        analysis = ProcedureAnalysis(cfg)
+    points = []
+    for loop in analysis.loop_forest:
+        header_block = cfg.block(loop.header)
+        trigger_pc = header_block.start_pc
+        for latch in sorted(loop.latches):
+            if latch == loop.header:
+                # Single-block loop: the header *is* the latch; spawning
+                # it from itself would be the degenerate self-spawn the
+                # paper argues against, so spawn the block start anyway
+                # (the next iteration of the whole block).
+                spawn_pc = header_block.start_pc
+                trigger = header_block.terminator.pc
+                points.append(
+                    SpawnPoint(trigger, spawn_pc, SpawnCategory.LOOP, cfg.name)
+                )
+                continue
+            latch_block = cfg.block(latch)
+            points.append(
+                SpawnPoint(
+                    trigger_pc, latch_block.start_pc, SpawnCategory.LOOP, cfg.name
+                )
+            )
+    return points
+
+
+def loop_spawn_points(program_cfgs):
+    """Loop-iteration spawn points of a whole program."""
+    points = []
+    for cfg in program_cfgs:
+        points.extend(loop_spawn_points_of_procedure(cfg))
+    points.sort(key=lambda point: point.trigger_pc)
+    return points

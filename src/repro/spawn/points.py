@@ -1,0 +1,82 @@
+"""Spawn points: where new tasks may be created, and their categories.
+
+Section 2.2 of the paper classifies the immediate postdominators of
+control instructions into four categories — loop fall-throughs,
+procedure fall-throughs, simple hammocks, and "other" — plus the
+classic loop-iteration spawns used as a heuristic baseline.
+"""
+
+import enum
+
+
+class SpawnCategory(enum.Enum):
+    """The task types of the paper's Figure 5, plus loop-iteration spawns."""
+
+    #: Immediate postdominator of a loop branch (including breaks and
+    #: other exit conditions).  Exposes outer-loop parallelism.
+    LOOP_FALL_THROUGH = "loopFT"
+    #: Immediate postdominator of a call instruction.  Initiates
+    #: instruction-cache misses early.
+    PROCEDURE_FALL_THROUGH = "procFT"
+    #: Join of a simple if-then / if-then-else.  Jumps over
+    #: hard-to-predict branches.
+    HAMMOCK = "hammock"
+    #: Complex control flow and indirect jumps.
+    OTHER = "other"
+    #: Loop-iteration spawns (heuristic; not an ipdom category).
+    LOOP = "loop"
+
+    def __str__(self):
+        return self.value
+
+
+#: The four immediate-postdominator categories (Figure 5's legend order).
+POSTDOMINATOR_CATEGORIES = (
+    SpawnCategory.LOOP_FALL_THROUGH,
+    SpawnCategory.PROCEDURE_FALL_THROUGH,
+    SpawnCategory.HAMMOCK,
+    SpawnCategory.OTHER,
+)
+
+
+class SpawnPoint:
+    """A static spawn opportunity.
+
+    When the fetch unit reaches ``trigger_pc`` (the PC of a control
+    instruction), the Task Spawn Unit may create a new task beginning at
+    ``spawn_pc``.
+
+    Attributes:
+        trigger_pc: PC of the instruction whose fetch triggers the spawn.
+        spawn_pc: PC where the spawned task begins.
+        category: The :class:`SpawnCategory`.
+        procedure: Name of the enclosing procedure (diagnostics).
+    """
+
+    __slots__ = ("trigger_pc", "spawn_pc", "category", "procedure")
+
+    def __init__(self, trigger_pc, spawn_pc, category, procedure=None):
+        self.trigger_pc = trigger_pc
+        self.spawn_pc = spawn_pc
+        self.category = category
+        self.procedure = procedure
+
+    def key(self):
+        """Identity key: (trigger, target)."""
+        return (self.trigger_pc, self.spawn_pc)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SpawnPoint)
+            and self.trigger_pc == other.trigger_pc
+            and self.spawn_pc == other.spawn_pc
+            and self.category == other.category
+        )
+
+    def __hash__(self):
+        return hash((self.trigger_pc, self.spawn_pc, self.category))
+
+    def __repr__(self):
+        return "SpawnPoint({:#x} -> {:#x}, {})".format(
+            self.trigger_pc, self.spawn_pc, self.category
+        )

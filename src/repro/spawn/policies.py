@@ -1,0 +1,166 @@
+"""Spawn policies: which spawn points a machine configuration uses.
+
+The paper evaluates
+
+* individual heuristics: ``loop``, ``loopFT``, ``procFT``, ``hammock``,
+  ``other`` (Figure 9);
+* control-equivalent spawning, ``postdoms`` = all four ipdom categories
+  (Figures 9-12);
+* heuristic combinations: ``loop+loopFT``, ``loopFT+procFT``,
+  ``loop+procFT+loopFT`` (Figure 10);
+* category exclusions: ``postdoms-loopFT`` etc. (Figure 11);
+* the dynamic reconvergence predictor, ``rec_pred`` (Figure 12 — built
+  in :mod:`repro.reconvergence`).
+
+A policy is an immutable set of spawn points indexed by trigger PC.
+PolyFlow's hint cache associates one spawn point with each branch PC,
+so when two selected points share a trigger the first category listed
+in the policy specification wins.
+"""
+
+from repro.errors import ConfigurationError
+from repro.spawn.classify import classify_program
+from repro.spawn.loop_spawns import loop_spawn_points
+from repro.spawn.points import (
+    POSTDOMINATOR_CATEGORIES,
+    SpawnCategory,
+    SpawnPoint,
+)
+
+#: Specs accepted by :meth:`SpawnAnalysis.policy`, in paper order.
+INDIVIDUAL_POLICY_SPECS = ("loop", "loopFT", "procFT", "hammock", "other")
+COMBINATION_POLICY_SPECS = ("loop+loopFT", "loopFT+procFT", "loop+procFT+loopFT")
+EXCLUSION_POLICY_SPECS = (
+    "postdoms-loopFT",
+    "postdoms-procFT",
+    "postdoms-hammock",
+    "postdoms-other",
+)
+
+_CATEGORY_BY_SPEC = {
+    "loop": SpawnCategory.LOOP,
+    "loopFT": SpawnCategory.LOOP_FALL_THROUGH,
+    "procFT": SpawnCategory.PROCEDURE_FALL_THROUGH,
+    "hammock": SpawnCategory.HAMMOCK,
+    "other": SpawnCategory.OTHER,
+}
+
+
+class SpawnPolicy:
+    """An immutable, trigger-indexed set of spawn points."""
+
+    def __init__(self, name, points):
+        self.name = name
+        deduplicated = {}
+        for point in points:
+            deduplicated.setdefault(point.trigger_pc, point)
+        self._by_trigger = deduplicated
+        self.points = tuple(sorted(deduplicated.values(), key=lambda p: p.trigger_pc))
+
+    def spawn_for(self, pc):
+        """The :class:`SpawnPoint` triggered at ``pc``, or None."""
+        return self._by_trigger.get(pc)
+
+    def trigger_pcs(self):
+        """All trigger PCs of this policy."""
+        return frozenset(self._by_trigger)
+
+    def categories(self):
+        """Distinct categories present in this policy."""
+        return frozenset(point.category for point in self.points)
+
+    def __len__(self):
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __repr__(self):
+        return "SpawnPolicy(name={!r}, points={})".format(self.name, len(self.points))
+
+
+class SpawnAnalysis:
+    """Cached spawn-point analysis of one program.
+
+    Computes the control-equivalent (postdominator) spawn points and
+    the heuristic loop-iteration spawn points once, then materializes
+    any named policy.
+    """
+
+    def __init__(self, program_cfgs):
+        self.program_cfgs = program_cfgs
+        self.postdominator_points = classify_program(program_cfgs)
+        self.loop_points = loop_spawn_points(program_cfgs)
+        self._by_category = {category: [] for category in SpawnCategory}
+        for point in self.postdominator_points:
+            self._by_category[point.category].append(point)
+        self._by_category[SpawnCategory.LOOP] = list(self.loop_points)
+
+    def points_of_category(self, category):
+        """All spawn points of one :class:`SpawnCategory`."""
+        return tuple(self._by_category[category])
+
+    def policy(self, spec):
+        """Materialize the policy named by ``spec``.
+
+        Accepted specs: ``postdoms``, the individual heuristics
+        (``loop``, ``loopFT``, ``procFT``, ``hammock``, ``other``),
+        ``+``-joined combinations thereof, and ``postdoms-<category>``
+        exclusions.
+
+        Raises:
+            ConfigurationError: If the spec is not recognized.
+        """
+        spec = spec.strip()
+        if spec == "postdoms":
+            return SpawnPolicy("postdoms", self.postdominator_points)
+        if spec.startswith("postdoms-"):
+            excluded_spec = spec[len("postdoms-"):]
+            excluded = _CATEGORY_BY_SPEC.get(excluded_spec)
+            if excluded is None or excluded not in POSTDOMINATOR_CATEGORIES:
+                raise ConfigurationError(
+                    "cannot exclude unknown category {!r}".format(excluded_spec)
+                )
+            points = [
+                point
+                for point in self.postdominator_points
+                if point.category != excluded
+            ]
+            return SpawnPolicy(spec, points)
+        parts = [part.strip() for part in spec.split("+")]
+        points = []
+        for part in parts:
+            category = _CATEGORY_BY_SPEC.get(part)
+            if category is None:
+                raise ConfigurationError("unknown spawn policy spec {!r}".format(spec))
+            points.extend(self._by_category[category])
+        return SpawnPolicy(spec, points)
+
+    def empty_policy(self):
+        """The no-spawning policy (superscalar baseline)."""
+        return SpawnPolicy("none", [])
+
+
+def merge_policies(name, *policies):
+    """Union several policies (earlier policies win trigger conflicts)."""
+    points = []
+    for policy in policies:
+        points.extend(policy.points)
+    return SpawnPolicy(name, points)
+
+
+def policy_from_points(name, points):
+    """Build a policy from an explicit iterable of spawn points."""
+    return SpawnPolicy(name, list(points))
+
+
+__all__ = [
+    "SpawnPolicy",
+    "SpawnAnalysis",
+    "SpawnPoint",
+    "merge_policies",
+    "policy_from_points",
+    "INDIVIDUAL_POLICY_SPECS",
+    "COMBINATION_POLICY_SPECS",
+    "EXCLUSION_POLICY_SPECS",
+]

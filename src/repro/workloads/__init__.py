@@ -1,0 +1,34 @@
+"""Synthetic SPEC2000int-like workloads (see DESIGN.md, Substitutions)."""
+
+from repro.workloads import (  # noqa: F401  (re-exported for suite.py)
+    bzip2,
+    crafty,
+    gap,
+    gcc,
+    gzip,
+    mcf,
+    parser,
+    perlbmk,
+    twolf,
+    vortex,
+    vpr,
+)
+from repro.workloads.builder import AsmBuilder, check_scale, scaled
+from repro.workloads.suite import (
+    WORKLOAD_NAMES,
+    PreparedWorkload,
+    clear_cache,
+    prepare_workload,
+    workload_source,
+)
+
+__all__ = [
+    "AsmBuilder",
+    "scaled",
+    "check_scale",
+    "WORKLOAD_NAMES",
+    "PreparedWorkload",
+    "prepare_workload",
+    "workload_source",
+    "clear_cache",
+]

@@ -1,0 +1,137 @@
+"""Program-construction helpers for the synthetic workload suite.
+
+The suite replaces the paper's SPEC2000int binaries (see DESIGN.md,
+"Substitutions").  Each workload is generated as assembly text through
+:class:`AsmBuilder`, with seeded randomness so every build is
+bit-reproducible.
+
+Register conventions used by the generated code:
+
+* ``r1``-``r8``: scratch/accumulators inside kernels,
+* ``r9``-``r15``: pointers and loop counters,
+* ``r16``-``r25``: extra scratch for generated filler code,
+* ``r28``: base of the workload's primary data arena,
+* ``ra``/``sp``: standard linkage (no stack is needed; leaf calls only
+  save nothing, non-leaf calls save ``ra`` to a static slot).
+"""
+
+import random
+
+from repro.errors import ConfigurationError
+
+
+class AsmBuilder:
+    """Accumulates assembly text with unique labels."""
+
+    def __init__(self, name, seed=0):
+        self.name = name
+        self.random = random.Random(seed)
+        self._text = []
+        self._data = []
+        self._label_counter = 0
+
+    # -- labels ------------------------------------------------------------
+
+    def fresh_label(self, prefix="L"):
+        """Return a new unique label."""
+        self._label_counter += 1
+        return "{}_{}".format(prefix, self._label_counter)
+
+    # -- text segment --------------------------------------------------------
+
+    def emit(self, line):
+        """Append one instruction or raw line to the text segment."""
+        self._text.append("    " + line)
+
+    def label(self, name):
+        """Place a label in the text segment."""
+        self._text.append("{}:".format(name))
+
+    def comment(self, text):
+        """Append a comment line."""
+        self._text.append("    # {}".format(text))
+
+    # -- data segment ----------------------------------------------------------
+
+    def data_words(self, label, values):
+        """Emit a labelled ``.word`` array (8-byte little-endian words)."""
+        self._data.append("{}:".format(label))
+        for start in range(0, len(values), 8):
+            chunk = values[start : start + 8]
+            self._data.append("    .word " + ", ".join(str(v) for v in chunk))
+
+    def data_space(self, label, nbytes):
+        """Emit a labelled zero-initialized region (sparse)."""
+        self._data.append("{}:".format(label))
+        self._data.append("    .space {}".format(nbytes))
+
+    def data_label(self, label):
+        """Place a bare data label."""
+        self._data.append("{}:".format(label))
+
+    def data_records(self, label, records, record_bytes):
+        """Emit an array of fixed-stride records.
+
+        Each record is a list of leading word values; the remainder of
+        the record up to ``record_bytes`` is reserved sparsely (reads as
+        zero) so multi-megabyte arenas stay cheap to assemble.
+        """
+        self._data.append("{}:".format(label))
+        for words in records:
+            if words:
+                self._data.append(
+                    "    .word " + ", ".join(str(value) for value in words)
+                )
+            padding = record_bytes - 8 * len(words)
+            if padding > 0:
+                self._data.append("    .space {}".format(padding))
+
+    # -- common fragments --------------------------------------------------------
+
+    def random_bits(self, count, taken_probability):
+        """A list of 0/1 words with P(1) = ``taken_probability``."""
+        return [
+            1 if self.random.random() < taken_probability else 0
+            for _ in range(count)
+        ]
+
+    def emit_independent_alu(self, count, registers=(16, 17, 18, 19, 20, 21)):
+        """Emit ``count`` fully independent ALU instructions (ILP filler).
+
+        Every instruction reads the same two stable source registers
+        (r24/r25 by convention), so the block has no internal
+        dependences and the backend can drain it at full width.
+        """
+        ops = ("add", "xor", "or", "and")
+        for index in range(count):
+            rd = registers[index % len(registers)]
+            self.emit("{} r{}, r24, r25".format(ops[index % len(ops)], rd))
+
+    def emit_serial_chain(self, count, register=22):
+        """Emit a ``count``-deep dependence chain (serializing filler)."""
+        for _ in range(count):
+            self.emit("addi r{0}, r{0}, 1".format(register))
+
+    def source(self):
+        """Render the complete assembly source."""
+        parts = ["    .text"]
+        parts.extend(self._text)
+        if self._data:
+            parts.append("    .data")
+            parts.extend(self._data)
+        return "\n".join(parts) + "\n"
+
+
+def scaled(value, scale, minimum=1):
+    """Scale an iteration count, keeping it at least ``minimum``."""
+    result = int(round(value * scale))
+    if result < minimum:
+        return minimum
+    return result
+
+
+def check_scale(scale):
+    """Validate a workload scale factor."""
+    if scale <= 0:
+        raise ConfigurationError("workload scale must be positive")
+    return scale

@@ -1,0 +1,68 @@
+"""Synthetic ``bzip2``: block-sorting compression loops.
+
+A Burrows-Wheeler-ish kernel: an outer loop over blocks, an inner
+comparison loop with a moderately-biased early-exit branch, and a
+move-to-front pass with a data-dependent hammock.  Gains come from a
+mix of loop fall-throughs and hammocks; postdoms combines them — the
+paper's bzip2 shape (moderate speedups across categories, postdoms
+best).
+"""
+
+from repro.workloads.builder import AsmBuilder, check_scale, scaled
+
+
+def build(scale=1.0):
+    """Generate the bzip2-like assembly source."""
+    check_scale(scale)
+    builder = AsmBuilder("bzip2", seed=0xB21B2)
+    rng = builder.random
+    blocks = scaled(900, scale, minimum=2)
+
+    # Low-entropy bytes: rotation comparisons match fairly often,
+    # giving the comparison loop a short data-dependent trip count.
+    builder.data_words("block", [rng.randrange(0, 3) for _ in range(256)])
+    builder.data_words("mtf", [rng.randrange(0, 2) for _ in range(256)])
+
+    builder.label("main")
+    builder.emit("la   r9, block")
+    builder.emit("la   r26, mtf")
+    builder.emit("li   r10, {}".format(blocks))
+
+    builder.label("sort_block")
+    # Inner comparison loop: compare rotations until mismatch (the
+    # trip count is data dependent, around 6).
+    builder.emit("andi r11, r10, 255")
+    builder.emit("slli r11, r11, 3")
+    builder.emit("add  r11, r9, r11")  # rotation cursor
+    builder.emit("li   r12, 12")
+    builder.label("compare")
+    builder.emit("lw   r2, 0(r11)")
+    builder.emit("lw   r4, 8(r11)")
+    builder.emit("beq  r2, r4, keep_comparing")
+    builder.emit("j    compared")  # early exit (mismatch, common)
+    builder.label("keep_comparing")
+    builder.emit("addi r11, r11, 8")
+    builder.emit("addi r12, r12, -1")
+    builder.emit("bne  r12, r0, compare")
+    builder.label("compared")
+
+    # Move-to-front pass with a data-dependent hammock (~50%).
+    builder.emit("andi r13, r10, 255")
+    builder.emit("slli r13, r13, 3")
+    builder.emit("add  r13, r26, r13")
+    builder.emit("lw   r5, 0(r13)")
+    builder.emit("bne  r5, r0, mtf_hit")
+    builder.label("mtf_miss")
+    builder.emit("addi r6, r6, 1")
+    builder.emit("xor  r7, r7, r6")
+    builder.emit("j    mtf_done")
+    builder.label("mtf_hit")
+    builder.emit("addi r7, r7, 3")
+    builder.label("mtf_done")
+    builder.emit("add  r8, r8, r7")
+
+    builder.label("next_block")
+    builder.emit("addi r10, r10, -1")
+    builder.emit("bne  r10, r0, sort_block")
+    builder.emit("halt")
+    return builder.source()

@@ -1,0 +1,148 @@
+"""Synthetic ``crafty``: branch-dense game-tree evaluation.
+
+An evaluation loop over positions with *nested* unpredictable hammocks
+(PolyFlow spawns only the outermost branch of a nest), shared-tail
+regions that classify as "other", a small attack-table loop, and a
+couple of helper calls.  No single heuristic captures much; only the
+full postdominator set does — the paper's crafty behaviour (hammocks
+help a little, postdoms much more; rec_pred lags).
+"""
+
+from repro.workloads.builder import AsmBuilder, check_scale, scaled
+
+
+def _emit_nested_hammock(builder, depth, tag):
+    """Emit a nest of unpredictable if-then-else levels.
+
+    Each arm holds a few instructions of evaluation work, so the join
+    is far enough from the branch to be a worthwhile task.
+    """
+    join_labels = []
+    for level in range(depth):
+        else_label = builder.fresh_label("cr_else_{}".format(tag))
+        join_label = builder.fresh_label("cr_join_{}".format(tag))
+        join_labels.append(join_label)
+        builder.emit("andi r5, r2, {}".format(1 << level))
+        builder.emit("bne  r5, r0, {}".format(else_label))
+        builder.emit("addi r3, r3, {}".format(level + 1))
+        builder.emit("slli r6, r2, {}".format(level + 1))
+        builder.emit("or   r4, r4, r6")
+        builder.emit("add  r7, r7, r6")
+        builder.emit("j    {}".format(join_label))
+        builder.label(else_label)
+        builder.emit("sub  r3, r3, r4")
+        builder.emit("srli r6, r2, {}".format(level + 1))
+        builder.emit("xor  r7, r7, r6")
+        builder.emit("and  r4, r4, r2")
+        builder.label(join_label)
+        builder.emit("xor  r4, r4, r3")
+    del join_labels
+
+
+def build(scale=1.0):
+    """Generate the crafty-like assembly source."""
+    check_scale(scale)
+    builder = AsmBuilder("crafty", seed=0xC4AF7)
+    rng = builder.random
+    positions = scaled(900, scale, minimum=4)
+
+    builder.data_words(
+        "board", [rng.randrange(0, 1 << 12) for _ in range(positions)]
+    )
+    builder.data_words(
+        "attack", [rng.randrange(0, 1 << 8) for _ in range(64)]
+    )
+    builder.data_words(
+        "piece_table", ["piece_{}".format(piece) for piece in range(4)]
+    )
+
+    builder.label("main")
+    builder.emit("la   r28, board")
+    builder.emit("la   r26, attack")
+    builder.emit("li   r10, {}".format(positions))
+    builder.emit("li   r3, 1")
+
+    builder.label("evaluate")
+    # The next position examined depends on the running score (as
+    # alpha-beta search order does), so successive iterations carry a
+    # serial dependence and outer-iteration pipelining buys little.
+    builder.emit("andi r16, r3, 1016")
+    builder.emit("add  r17, r28, r16")
+    builder.emit("lw   r2, 0(r17)")  # position hash: random bits
+
+    # Piece-type dispatch through a jump table: an unpredictable
+    # indirect jump whose reconvergence is an "other" spawn point.
+    builder.emit("andi r11, r2, 24")
+    builder.emit("la   r12, piece_table")
+    builder.emit("add  r12, r12, r11")
+    builder.emit("lw   r12, 0(r12)")
+    builder.emit("jr   r12")
+    for piece in range(4):
+        builder.label("piece_{}".format(piece))
+        builder.emit("addi r3, r3, {}".format(piece + 1))
+        builder.emit("slli r13, r2, {}".format(piece + 1))
+        builder.emit("xor  r7, r7, r13")
+        builder.emit("add  r8, r8, r13")
+        builder.emit("j    piece_join")
+    builder.label("piece_join")
+    builder.emit("add  r7, r7, r3")
+
+    # Helper call and the attack-table loop come first: their spawn
+    # points only overlap work within the same position, so procFT and
+    # loopFT alone gain little on crafty (as in the paper).
+    builder.emit("jal  mobility")
+    builder.emit("add  r8, r8, r1")
+
+    builder.emit("li   r11, 8")
+    builder.emit("move r12, r26")
+    builder.label("attack_loop")
+    builder.emit("lw   r13, 0(r12)")
+    builder.emit("add  r7, r7, r13")
+    builder.emit("addi r12, r12, 8")
+    builder.emit("addi r11, r11, -1")
+    builder.emit("bne  r11, r0, attack_loop")
+
+    # Nested unpredictable hammocks (only the outermost is spawnable at
+    # a time under tail-only spawning).
+    _emit_nested_hammock(builder, depth=3, tag="eval")
+
+    # Complex region ("other"): an earlier branch jumps straight into
+    # one *arm* of the king-safety branch, so that branch's region has a
+    # side entry and does not classify as a simple hammock.
+    builder.emit("andi r5, r2, 48")
+    builder.emit("beq  r5, r0, king_rare")  # side entry into the arm
+    builder.label("king_safety")
+    builder.emit("andi r6, r2, 4")
+    builder.emit("bne  r6, r0, king_rare")  # region has a side entry
+    builder.emit("addi r3, r3, 7")
+    builder.emit("xor  r7, r7, r3")
+    builder.emit("slli r6, r2, 2")
+    builder.emit("add  r7, r7, r6")
+    builder.emit("or   r8, r8, r6")
+    builder.emit("j    king_join")
+    builder.label("king_rare")
+    builder.emit("addi r3, r3, 2")
+    builder.emit("or   r7, r7, r3")
+    builder.emit("srli r6, r2, 2")
+    builder.emit("xor  r8, r8, r6")
+    builder.emit("and  r7, r7, r2")
+    builder.label("king_join")
+    builder.emit("add  r7, r7, r3")
+
+    builder.label("next_position")
+    builder.emit("xor  r3, r3, r7")  # fold the evaluation into the score
+    builder.emit("addi r10, r10, -1")
+    builder.emit("bne  r10, r0, evaluate")
+    builder.emit("halt")
+
+    builder.label("mobility")
+    builder.emit("srli r1, r2, 4")
+    builder.emit("andi r1, r1, 63")
+    # An unpredictable hammock inside the callee.
+    skip = builder.fresh_label("cr_mob")
+    builder.emit("andi r15, r2, 256")
+    builder.emit("beq  r15, r0, {}".format(skip))
+    builder.emit("addi r1, r1, 9")
+    builder.label(skip)
+    builder.emit("jr   ra")
+    return builder.source()

@@ -1,0 +1,66 @@
+"""Synthetic ``gap``: computer-algebra kernels behind a call interface.
+
+A work list dispatches direct calls to a set of arithmetic kernels
+(big-integer-style limb loops and small combinatorial routines) whose
+combined footprint pressures the L1 I-cache.  Procedure fall-through
+spawns overlap the post-call code (and its fetch misses) with the
+callee — gap responds to procFT like vortex, a bit less extremely.
+"""
+
+from repro.workloads.builder import AsmBuilder, check_scale, scaled
+
+_KERNEL_COUNT = 16
+_LIMB_COUNT = 6
+
+
+def _emit_kernel(builder, index):
+    """A kernel: a short limb loop plus straight-line reduction code."""
+    builder.label("kernel_{}".format(index))
+    builder.emit("la   r16, limbs_{}".format(index))
+    builder.emit("li   r17, {}".format(_LIMB_COUNT))
+    builder.emit("li   r1, 0")
+    loop = builder.fresh_label("gap_limb")
+    builder.label(loop)
+    builder.emit("lw   r18, 0(r16)")
+    builder.emit("add  r1, r1, r18")
+    builder.emit("mul  r19, r18, r18")
+    builder.emit("xor  r1, r1, r19")
+    builder.emit("addi r16, r16, 8")
+    builder.emit("addi r17, r17, -1")
+    builder.emit("bne  r17, r0, {}".format(loop))
+    # Independent straight-line reduction filler: builds the I-cache
+    # footprint without serializing the backend.
+    builder.emit_independent_alu(110, registers=(20, 21, 22, 23))
+    builder.emit("jr   ra")
+
+
+def build(scale=1.0):
+    """Generate the gap-like assembly source."""
+    check_scale(scale)
+    builder = AsmBuilder("gap", seed=0x6A9)
+    rng = builder.random
+    rounds = scaled(12, scale, minimum=2)
+
+    builder.label("main")
+    builder.emit("li   r9, {}".format(rounds))
+    builder.label("round_loop")
+    for index in range(_KERNEL_COUNT):
+        builder.emit("jal  kernel_{}".format(index))
+        builder.emit("add  r3, r3, r1")
+        # A mostly-predictable guard between calls.
+        skip = builder.fresh_label("gap_skip")
+        builder.emit("bgez r3, {}".format(skip))
+        builder.emit("sub  r3, r0, r3")
+        builder.label(skip)
+    builder.emit("addi r9, r9, -1")
+    builder.emit("bne  r9, r0, round_loop")
+    builder.emit("halt")
+
+    for index in range(_KERNEL_COUNT):
+        _emit_kernel(builder, index)
+    for index in range(_KERNEL_COUNT):
+        builder.data_words(
+            "limbs_{}".format(index),
+            [rng.randrange(1, 1 << 16) for _ in range(_LIMB_COUNT)],
+        )
+    return builder.source()

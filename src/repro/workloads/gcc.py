@@ -1,0 +1,122 @@
+"""Synthetic ``gcc``: a large, structurally diverse compiler-like body.
+
+A generator emits dozens of small pass functions, each randomly shaped
+as a hammock chain, a scan loop, a switch dispatch, or a shared-tail
+region, called from a driver loop.  gcc's distinguishing feature in the
+paper is its very large static spawn count spread across all four
+categories, with moderate dynamic speedups.
+"""
+
+from repro.workloads.builder import AsmBuilder, check_scale, scaled
+
+_FUNCTION_COUNT = 36
+
+
+def _emit_hammock_chain(builder, tag):
+    for level in range(3):
+        else_label = builder.fresh_label("gcc_e{}".format(tag))
+        join_label = builder.fresh_label("gcc_j{}".format(tag))
+        builder.emit("andi r5, r2, {}".format(1 << (level + 1)))
+        builder.emit("beq  r5, r0, {}".format(else_label))
+        builder.emit("addi r1, r1, {}".format(level + 1))
+        builder.emit("j    {}".format(join_label))
+        builder.label(else_label)
+        builder.emit("xor  r1, r1, r2")
+        builder.label(join_label)
+        builder.emit("add  r6, r6, r1")
+
+
+def _emit_scan_loop(builder, tag, trips):
+    loop = builder.fresh_label("gcc_l{}".format(tag))
+    builder.emit("li   r16, {}".format(trips))
+    builder.emit("move r17, r28")
+    builder.label(loop)
+    builder.emit("lw   r18, 0(r17)")
+    builder.emit("add  r1, r1, r18")
+    builder.emit("addi r17, r17, 8")
+    builder.emit("addi r16, r16, -1")
+    builder.emit("bne  r16, r0, {}".format(loop))
+
+
+def _emit_switch(builder, tag, table_label, case_count):
+    cases = [builder.fresh_label("gcc_c{}".format(tag)) for _ in range(case_count)]
+    after = builder.fresh_label("gcc_a{}".format(tag))
+    builder.emit("andi r5, r2, {}".format(case_count - 1))
+    builder.emit("slli r5, r5, 3")
+    builder.emit("la   r16, {}".format(table_label))
+    builder.emit("add  r16, r16, r5")
+    builder.emit("lw   r16, 0(r16)")
+    builder.emit("jr   r16")
+    for number, case in enumerate(cases):
+        builder.label(case)
+        builder.emit("addi r1, r1, {}".format(number + 1))
+        builder.emit("j    {}".format(after))
+    builder.label(after)
+    builder.emit("add  r6, r6, r1")
+    return cases
+
+
+def _emit_shared_tail(builder, tag):
+    # An earlier branch jumps into one arm of a later branch, giving the
+    # later branch's region a side entry ("other" classification).
+    arm = builder.fresh_label("gcc_t{}".format(tag))
+    join = builder.fresh_label("gcc_tj{}".format(tag))
+    builder.emit("andi r5, r2, 12")
+    builder.emit("beq  r5, r0, {}".format(arm))
+    builder.emit("andi r6, r2, 1")
+    builder.emit("bne  r6, r0, {}".format(arm))  # side entry into the arm
+    builder.emit("addi r1, r1, 5")
+    builder.emit("xor  r7, r7, r1")
+    builder.emit("j    {}".format(join))
+    builder.label(arm)
+    builder.emit("addi r1, r1, 9")
+    builder.emit("or   r7, r7, r1")
+    builder.label(join)
+    builder.emit("add  r7, r7, r1")
+
+
+def build(scale=1.0):
+    """Generate the gcc-like assembly source."""
+    check_scale(scale)
+    builder = AsmBuilder("gcc", seed=0x6CC)
+    rng = builder.random
+    passes = scaled(16, scale, minimum=1)
+
+    shapes = []
+    switch_tables = {}
+    for index in range(_FUNCTION_COUNT):
+        shapes.append(rng.choice(("hammocks", "loop", "switch", "tail", "mixed")))
+
+    builder.label("main")
+    builder.emit("la   r28, pool")
+    builder.emit("li   r9, {}".format(passes))
+    builder.label("driver")
+    for index in range(_FUNCTION_COUNT):
+        builder.emit("jal  pass_{}".format(index))
+        builder.emit("add  r3, r3, r1")
+    builder.emit("addi r9, r9, -1")
+    builder.emit("bne  r9, r0, driver")
+    builder.emit("halt")
+
+    for index, shape in enumerate(shapes):
+        builder.label("pass_{}".format(index))
+        builder.emit("lw   r2, {}(r28)".format(8 * (index % 64)))
+        builder.emit("li   r1, 0")
+        if shape == "hammocks":
+            _emit_hammock_chain(builder, index)
+        elif shape == "loop":
+            _emit_scan_loop(builder, index, trips=4 + index % 5)
+        elif shape == "switch":
+            table = "table_{}".format(index)
+            switch_tables[table] = _emit_switch(builder, index, table, 4)
+        elif shape == "tail":
+            _emit_shared_tail(builder, index)
+        else:  # mixed
+            _emit_hammock_chain(builder, "m{}".format(index))
+            _emit_shared_tail(builder, "m{}".format(index))
+        builder.emit("jr   ra")
+
+    builder.data_words("pool", [rng.randrange(0, 1 << 14) for _ in range(64)])
+    for table, cases in switch_tables.items():
+        builder.data_words(table, list(cases))
+    return builder.source()

@@ -1,0 +1,57 @@
+"""Synthetic ``gzip``: predictable compression-style loops.
+
+A deflate-like kernel: a hash-match loop whose branches are highly
+biased (predictable), long serial dependence chains through the window
+state, and loop-carried memory dependences (the window is written and
+re-read in nearby iterations).  Little for any spawn policy to exploit:
+speedups are small, and loop-iteration spawns can lose slightly by
+creating inter-task dependences — the paper's gzip behaviour.
+"""
+
+from repro.workloads.builder import AsmBuilder, check_scale, scaled
+
+
+def build(scale=1.0):
+    """Generate the gzip-like assembly source."""
+    check_scale(scale)
+    builder = AsmBuilder("gzip", seed=0x6219)
+    rng = builder.random
+    iterations = scaled(2400, scale, minimum=8)
+
+    # Input bytes: mostly-compressible stream (biased values).
+    values = [rng.randrange(0, 255) for _ in range(512)]
+    builder.data_words("input", values)
+    builder.data_space("window", 8 * 1024)
+
+    builder.label("main")
+    builder.emit("la   r9, input")
+    builder.emit("la   r26, window")
+    builder.emit("li   r10, {}".format(iterations))
+    builder.emit("li   r3, 5381")  # hash state
+
+    builder.label("deflate")
+    builder.emit("andi r11, r10, 511")
+    builder.emit("slli r12, r11, 3")
+    builder.emit("add  r12, r9, r12")
+    builder.emit("lw   r2, 0(r12)")  # next input byte
+    # Serial hash chain: h = h*33 ^ c (mul feeds the next steps).
+    builder.emit("slli r4, r3, 5")
+    builder.emit("add  r3, r4, r3")
+    builder.emit("xor  r3, r3, r2")
+    builder.emit("andi r5, r3, 63")
+    builder.emit("slli r5, r5, 3")
+    builder.emit("add  r5, r26, r5")
+    builder.emit("lw   r6, 0(r5)")  # window[h]: loop-carried via stores
+    builder.emit("sw   r3, 0(r5)")  # update the window
+    # Highly-biased match test (almost never equal).
+    builder.emit("beq  r6, r3, rare_match")
+    builder.label("emit_literal")
+    builder.emit("add  r7, r7, r2")
+    builder.emit("j    advance")
+    builder.label("rare_match")
+    builder.emit("addi r8, r8, 1")
+    builder.label("advance")
+    builder.emit("addi r10, r10, -1")
+    builder.emit("bne  r10, r0, deflate")
+    builder.emit("halt")
+    return builder.source()

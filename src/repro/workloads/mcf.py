@@ -1,0 +1,111 @@
+"""Synthetic ``mcf``: memory-bound pointer chasing with hard branches.
+
+Walks a randomized pointer chain over a ~2MB node arena (four times the
+512KB L2), so the chain loads miss in L2.  Each node's value drives an
+unpredictable if-then-else hammock and, occasionally, a shared-tail
+("goto"-style) region whose spawn point classifies as *other*.
+
+Character reproduced: hammock spawns jump over hard branches whose
+resolution waits on L2 misses (mcf speeds up most with hammocks);
+excluding the "other" category also hurts (Figure 11: ~16% loss).
+"""
+
+from repro.isa.program import DATA_BASE
+from repro.workloads.builder import AsmBuilder, check_scale, scaled
+
+_NODE_BYTES = 64
+_VALUE, _NEXT = 0, 8
+
+
+def build(scale=1.0):
+    """Generate the mcf-like assembly source."""
+    check_scale(scale)
+    builder = AsmBuilder("mcf", seed=0xA3CF)
+    rng = builder.random
+    node_count = scaled(6144, scale, minimum=64)
+    iterations = scaled(1500, scale, minimum=8)
+
+    # A single random cycle through all nodes (Sattolo's algorithm) so
+    # consecutive chain loads land on far-apart lines.
+    order = list(range(node_count))
+    index = node_count
+    while index > 1:
+        index -= 1
+        swap = rng.randrange(index)
+        order[index], order[swap] = order[swap], order[index]
+    successor = [0] * node_count
+    for position in range(node_count):
+        successor[order[position]] = order[(position + 1) % node_count]
+
+    # Each node stores its successor pointer twice (fields 'next' and
+    # 'alt'): the traversal picks the field from the node's value, so
+    # the chase address depends on the value load.
+    node_base = DATA_BASE
+    records = [
+        [
+            rng.randrange(0, 1 << 16),  # value
+            node_base + successor[node] * _NODE_BYTES,  # next
+            node_base + successor[node] * _NODE_BYTES,  # alt
+        ]
+        for node in range(node_count)
+    ]
+    builder.data_records("nodes", records, _NODE_BYTES)
+    builder.data_words("buckets", [0] * 32)
+
+    builder.label("main")
+    builder.emit("la   r9, nodes")
+    builder.emit("la   r27, buckets")
+    builder.emit("li   r10, {}".format(iterations))
+
+    builder.label("chase")
+    builder.emit("lw   r2, {}(r9)".format(_VALUE))  # often an L2 miss
+    builder.emit("andi r4, r2, 1")
+    builder.emit("bne  r4, r0, arc_in")  # ~50% taken: hard hammock
+
+    builder.label("arc_out")
+    builder.emit("add  r3, r3, r2")
+    builder.emit("xor  r5, r5, r2")
+    builder.emit("j    arc_join")
+    builder.label("arc_in")
+    builder.emit("sub  r3, r3, r2")
+    builder.emit("or   r5, r5, r2")
+    builder.label("arc_join")
+
+    # Complex region ("other"): the basis branch jumps into an arm of
+    # the price branch, giving the price branch's region a side entry.
+    builder.emit("andi r6, r2, 6")
+    builder.emit("beq  r6, r0, price_deep")  # ~25% side entry
+    builder.label("price")
+    builder.emit("andi r7, r2, 8")
+    builder.emit("bne  r7, r0, price_deep")  # region has a side entry
+    builder.emit("addi r3, r3, 3")
+    builder.emit("xor  r8, r8, r3")
+    builder.emit("slli r7, r2, 3")
+    builder.emit("add  r8, r8, r7")
+    builder.emit("j    price_join")
+    builder.label("price_deep")
+    builder.emit("addi r3, r3, 11")
+    builder.emit("or   r8, r8, r3")
+    builder.emit("srli r7, r2, 3")
+    builder.emit("xor  r8, r8, r7")
+    builder.label("price_join")
+    builder.emit("add  r8, r8, r3")
+
+    # Bucket update: a read-modify-write on a small shared table, so
+    # nearby iterations carry memory dependences (loop-iteration tasks
+    # conflict and get squashed, as real mcf's potentials do).
+    builder.emit("andi r14, r2, 248")
+    builder.emit("add  r14, r27, r14")
+    builder.emit("lw   r15, 0(r14)")
+    builder.emit("add  r15, r15, r3")
+    builder.emit("sw   r15, 0(r14)")
+
+    builder.label("advance")
+    # The chase address depends on the node's value: next vs alt field.
+    builder.emit("andi r6, r2, 8")
+    builder.emit("add  r6, r9, r6")
+    builder.emit("lw   r9, {}(r6)".format(_NEXT))  # serial pointer chase
+    builder.emit("addi r10, r10, -1")
+    builder.emit("bne  r10, r0, chase")
+    builder.emit("halt")
+    return builder.source()

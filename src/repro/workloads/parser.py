@@ -1,0 +1,72 @@
+"""Synthetic ``parser``: link-grammar-style sentence processing.
+
+An outer loop over words calls a dictionary-lookup routine (a short
+hash-probe loop), then runs a linkage check with skewed (~75/25)
+data-dependent branches.  A moderate mix: some procFT, some loopFT,
+some hammock value, with postdoms combining them.
+"""
+
+from repro.workloads.builder import AsmBuilder, check_scale, scaled
+
+
+def build(scale=1.0):
+    """Generate the parser-like assembly source."""
+    check_scale(scale)
+    builder = AsmBuilder("parser", seed=0x9A25E2)
+    rng = builder.random
+    words = scaled(850, scale, minimum=4)
+
+    builder.data_words("sentence", [rng.randrange(0, 1 << 10) for _ in range(words)])
+    builder.data_words("dict", [rng.randrange(0, 1 << 10) for _ in range(128)])
+    builder.data_words(
+        "links", [1 if rng.random() < 0.75 else 0 for _ in range(words)]
+    )
+
+    builder.label("main")
+    builder.emit("la   r9, sentence")
+    builder.emit("la   r26, links")
+    builder.emit("li   r10, {}".format(words))
+
+    builder.label("next_word")
+    builder.emit("lw   r2, 0(r9)")
+    # The dictionary probe mixes in the running parse state, so
+    # consecutive words carry a serial dependence (as the linkage
+    # algorithm's disjunct state does).
+    builder.emit("xor  r2, r2, r6")
+    builder.emit("jal  lookup")
+    builder.emit("add  r3, r3, r1")
+
+    # Linkage check: skewed branch (75% taken).
+    builder.emit("lw   r4, 0(r26)")
+    builder.emit("bne  r4, r0, link_ok")
+    builder.label("link_fail")
+    builder.emit("addi r5, r5, 1")
+    builder.emit("xor  r6, r6, r5")
+    builder.emit("j    linked")
+    builder.label("link_ok")
+    builder.emit("addi r6, r6, 2")
+    builder.label("linked")
+    builder.emit("add  r7, r7, r6")
+
+    builder.emit("addi r9, r9, 8")
+    builder.emit("addi r26, r26, 8")
+    builder.emit("addi r10, r10, -1")
+    builder.emit("bne  r10, r0, next_word")
+    builder.emit("halt")
+
+    # Dictionary lookup: a short probe loop (3 fixed probes).
+    builder.label("lookup")
+    builder.emit("andi r15, r2, 127")
+    builder.emit("slli r15, r15, 3")
+    builder.emit("la   r16, dict")
+    builder.emit("add  r16, r16, r15")
+    builder.emit("li   r17, 3")
+    builder.emit("li   r1, 0")
+    builder.label("probe")
+    builder.emit("lw   r18, 0(r16)")
+    builder.emit("add  r1, r1, r18")
+    builder.emit("addi r16, r16, 8")
+    builder.emit("addi r17, r17, -1")
+    builder.emit("bne  r17, r0, probe")
+    builder.emit("jr   ra")
+    return builder.source()

@@ -1,0 +1,105 @@
+"""Synthetic ``perlbmk``: a bytecode-interpreter dispatch loop.
+
+An indirect jump through a handler table dispatches a random opcode
+stream, so the jump's target is unpredictable.  The immediate
+postdominator of the dispatch jump is the loop bottom shared by all
+handlers — an *other* spawn point that jumps over the unpredictable
+indirect jump.  Several handlers contain their own hard hammocks.
+
+Character reproduced: "other" spawns beat the remaining heuristics
+(Figure 9), and removing hammocks costs ~21% (Figure 11).
+"""
+
+from repro.workloads.builder import AsmBuilder, check_scale, scaled
+
+_HANDLER_COUNT = 12
+
+
+def _emit_handler(builder, index):
+    builder.label("op_{}".format(index))
+    rng = builder.random
+    # A few instructions of handler work touching the VM state.
+    builder.emit("addi r3, r3, {}".format(index + 1))
+    builder.emit("xor  r4, r4, r3")
+    builder.emit("slli r8, r3, {}".format(1 + index % 3))
+    builder.emit("add  r4, r4, r8")
+    if index % 3 == 0:
+        # A data-dependent hammock inside the handler (hard branch on
+        # the operand value).
+        label = builder.fresh_label("pl_even")
+        join = builder.fresh_label("pl_join")
+        builder.emit("andi r5, r2, 2")
+        builder.emit("beq  r5, r0, {}".format(label))
+        builder.emit("add  r6, r6, r3")
+        builder.emit("slli r5, r6, 1")
+        builder.emit("xor  r6, r6, r5")
+        builder.emit("j    {}".format(join))
+        builder.label(label)
+        builder.emit("sub  r6, r6, r3")
+        builder.emit("srli r5, r6, 1")
+        builder.emit("or   r6, r6, r5")
+        builder.label(join)
+    builder.emit("add  r7, r7, r6")
+    builder.emit("j    dispatch_next")
+
+
+def build(scale=1.0):
+    """Generate the perlbmk-like assembly source."""
+    check_scale(scale)
+    builder = AsmBuilder("perlbmk", seed=0x9E7B)
+    rng = builder.random
+    stream_length = scaled(2600, scale, minimum=8)
+
+    # Opcode stream with Markov locality: usually the opcode repeats
+    # (a last-target predictor exploits this); the remaining dispatches
+    # still mispredict their indirect target.
+    stream = []
+    opcode = 0
+    for _ in range(stream_length):
+        if rng.random() >= 0.65:
+            opcode = rng.randrange(_HANDLER_COUNT)
+        stream.append(opcode)
+    builder.data_words("bytecode", stream)
+    builder.data_words(
+        "handlers", ["op_{}".format(index) for index in range(_HANDLER_COUNT)]
+    )
+
+    builder.label("main")
+    builder.emit("la   r9, bytecode")
+    builder.emit("la   r27, handlers")
+    builder.emit("li   r10, {}".format(stream_length))
+
+    builder.label("dispatch")
+    builder.emit("lw   r2, 0(r9)")  # opcode
+    builder.emit("slli r5, r2, 3")
+    builder.emit("add  r5, r27, r5")
+    builder.emit("lw   r5, 0(r5)")  # handler address
+    builder.emit("jr   r5")  # unpredictable indirect jump
+
+    for index in range(_HANDLER_COUNT):
+        _emit_handler(builder, index)
+
+    builder.label("dispatch_next")  # ipdom of the dispatch jump
+    # A hard string-compare hammock in the interpreter's back end (tag
+    # check on the produced value): its spawn point is distinct from
+    # the dispatch reconvergence, so the hammock category carries its
+    # own share of perlbmk's speedup.
+    builder.emit("andi r8, r4, 1")
+    builder.emit("bne  r8, r0, tag_slow")
+    builder.label("tag_fast")
+    builder.emit("add  r6, r6, r4")
+    builder.emit("slli r8, r6, 2")
+    builder.emit("xor  r6, r6, r8")
+    builder.emit("or   r7, r7, r6")
+    builder.emit("j    tag_done")
+    builder.label("tag_slow")
+    builder.emit("sub  r6, r6, r4")
+    builder.emit("srli r8, r6, 2")
+    builder.emit("or   r6, r6, r8")
+    builder.emit("xor  r7, r7, r6")
+    builder.label("tag_done")
+    builder.emit("addi r9, r9, 8")
+    builder.emit("addi r10, r10, -1")
+    builder.emit("bne  r10, r0, dispatch")
+    builder.emit("halt")
+    return builder.source()

@@ -1,0 +1,119 @@
+"""The synthetic benchmark suite: the 12 programs of the paper's bars.
+
+The paper evaluates SPEC2000int (minus eon, whose C++ did not compile
+with their tool chain) with Minnesota Reduced inputs.  Each entry here
+is a synthetic stand-in built to exhibit the control-flow character the
+paper attributes to the corresponding benchmark; see DESIGN.md
+section 5 for the per-benchmark shape targets.
+"""
+
+from repro.cfg import JumpProfile, build_program_cfgs
+from repro.errors import ConfigurationError
+from repro.isa import assemble
+from repro.sim import run_program
+from repro.spawn import SpawnAnalysis
+from repro.workloads import (
+    bzip2,
+    crafty,
+    gap,
+    gcc,
+    gzip,
+    mcf,
+    parser,
+    perlbmk,
+    twolf,
+    vortex,
+    vpr,
+)
+
+#: Benchmark order used throughout the paper's figures.
+WORKLOAD_NAMES = (
+    "bzip2",
+    "crafty",
+    "gap",
+    "gcc",
+    "gzip",
+    "mcf",
+    "parser",
+    "perlbmk",
+    "twolf",
+    "vortex",
+    "vpr.place",
+    "vpr.route",
+)
+
+_BUILDERS = {
+    "bzip2": bzip2.build,
+    "crafty": crafty.build,
+    "gap": gap.build,
+    "gcc": gcc.build,
+    "gzip": gzip.build,
+    "mcf": mcf.build,
+    "parser": parser.build,
+    "perlbmk": perlbmk.build,
+    "twolf": twolf.build,
+    "vortex": vortex.build,
+    "vpr.place": vpr.build_place,
+    "vpr.route": vpr.build_route,
+}
+
+
+class PreparedWorkload:
+    """A fully prepared workload: program, trace, CFGs, spawn analysis."""
+
+    def __init__(self, name, program, trace, cfgs, spawn_analysis):
+        self.name = name
+        self.program = program
+        self.trace = trace
+        self.cfgs = cfgs
+        self.spawn_analysis = spawn_analysis
+
+    @property
+    def dynamic_instructions(self):
+        """Committed instructions in the trace."""
+        return len(self.trace)
+
+    def __repr__(self):
+        return "PreparedWorkload(name={!r}, dynamic={}, procedures={})".format(
+            self.name, len(self.trace), len(self.cfgs)
+        )
+
+
+_PREPARED_CACHE = {}
+
+
+def workload_source(name, scale=1.0):
+    """The assembly source of one workload."""
+    if name not in _BUILDERS:
+        raise ConfigurationError(
+            "unknown workload {!r}; choose from {}".format(name, WORKLOAD_NAMES)
+        )
+    return _BUILDERS[name](scale)
+
+
+def prepare_workload(name, scale=1.0, use_cache=True):
+    """Build, execute, and analyse one workload.
+
+    The returned :class:`PreparedWorkload` has the committed trace, the
+    profile-driven CFGs (indirect-jump targets resolved from the
+    trace), and the :class:`~repro.spawn.policies.SpawnAnalysis` from
+    which all policies derive.
+    """
+    key = (name, scale)
+    if use_cache and key in _PREPARED_CACHE:
+        return _PREPARED_CACHE[key]
+    source = workload_source(name, scale)
+    program = assemble(source)
+    trace = run_program(program)
+    jump_profile = JumpProfile.from_trace(trace)
+    cfgs = build_program_cfgs(program, jump_profile=jump_profile)
+    spawn_analysis = SpawnAnalysis(cfgs)
+    prepared = PreparedWorkload(name, program, trace, cfgs, spawn_analysis)
+    if use_cache:
+        _PREPARED_CACHE[key] = prepared
+    return prepared
+
+
+def clear_cache():
+    """Drop all cached prepared workloads (mainly for tests)."""
+    _PREPARED_CACHE.clear()

@@ -1,0 +1,115 @@
+"""Synthetic ``twolf``: the ``new_dbox_a`` loop nest of Figure 6.
+
+A nested loop traversing linked lists.  The outer loop walks a list of
+*terms*; for each term, an inner loop (about 3 iterations) walks a list
+of *net* nodes containing an if-then-else (taken ~30% of the time) and
+two if-then ABS hammocks (taken ~50%), exactly the structure the paper
+analyses in Section 2.3.
+
+Character reproduced: inner- and outer-loop parallelism (loop and
+loopFT spawns help), hard-to-predict hammocks inside the inner loop
+(hammock spawns compose into inner-loop spawns).
+"""
+
+from repro.workloads.builder import AsmBuilder, check_scale, scaled
+
+#: Net-node field offsets (8-byte fields): xpos, flag, newx, nterm.
+_XPOS, _FLAG, _NEWX, _NTERM = 0, 8, 16, 24
+_NET_NODE_BYTES = 32
+#: Term-node field offsets: netptr, nextterm.
+_NETPTR, _NEXTTERM = 0, 8
+_TERM_NODE_BYTES = 16
+
+
+def build(scale=1.0):
+    """Generate the twolf-like assembly source."""
+    check_scale(scale)
+    builder = AsmBuilder("twolf", seed=0x2001F)
+    rng = builder.random
+    term_count = scaled(420, scale, minimum=4)
+
+    # -- data: linked lists of term and net nodes ---------------------------
+    from repro.isa.program import DATA_BASE
+
+    term_base = DATA_BASE
+    net_base = term_base + term_count * _TERM_NODE_BYTES
+    net_lengths = [rng.choice((1, 2, 3, 3, 4, 5)) for _ in range(term_count)]
+    total_nets = sum(net_lengths)
+
+    term_words = []
+    net_cursor = net_base
+    for index in range(term_count):
+        term_words.append(net_cursor)  # netptr -> first net node
+        if index + 1 < term_count:
+            term_words.append(term_base + (index + 1) * _TERM_NODE_BYTES)
+        else:
+            term_words.append(0)
+        net_cursor += net_lengths[index] * _NET_NODE_BYTES
+
+    net_words = []
+    net_cursor = net_base
+    for index in range(term_count):
+        for position in range(net_lengths[index]):
+            net_words.append(rng.randrange(0, 4096))  # xpos
+            net_words.append(1 if rng.random() < 0.30 else 0)  # flag
+            net_words.append(rng.randrange(0, 4096))  # newx
+            if position + 1 < net_lengths[index]:
+                net_words.append(net_cursor + (position + 1) * _NET_NODE_BYTES)
+            else:
+                net_words.append(0)  # nterm
+        net_cursor += net_lengths[index] * _NET_NODE_BYTES
+
+    builder.data_words("terms", term_words)
+    builder.data_words("nets", net_words)
+
+    # -- code ------------------------------------------------------------------
+    # r9 = termptr, r10 = netptr, r3 = *costptr accumulator (register
+    # allocated), r11 = new_mean, r12 = old_mean.
+    builder.label("main")
+    builder.emit("la   r9, terms")
+    # Means sit at the first quartile of the coordinate range, so the
+    # ABS hammock branches are taken about 75% of the time (hard, but
+    # not coin-flip hard).
+    builder.emit("li   r11, 1024")
+    builder.emit("li   r12, 1024")
+    builder.emit("li   r3, 0")
+
+    builder.label("outer")  # for each termptr
+    builder.emit("lw   r10, {}(r9)".format(_NETPTR))
+    builder.emit("beq  r10, r0, outer_latch")
+
+    builder.label("inner")  # for each netptr
+    builder.emit("lw   r2, {}(r10)".format(_XPOS))  # oldx
+    builder.emit("lw   r4, {}(r10)".format(_FLAG))
+    builder.emit("bne  r4, r0, flag_set")  # if (flag == 1), ~30% taken
+    builder.label("flag_clear")
+    builder.emit("move r5, r2")  # newx = oldx
+    builder.emit("j    abs1")
+    builder.label("flag_set")
+    builder.emit("lw   r5, {}(r10)".format(_NEWX))  # newx = netptr->newx
+    builder.emit("sw   r0, {}(r10)".format(_FLAG))  # netptr->flag = 0
+
+    builder.label("abs1")  # t1 = ABS(newx - new_mean)
+    builder.emit("sub  r6, r5, r11")
+    builder.emit("bgez r6, abs2")
+    builder.emit("sub  r6, r0, r6")
+    builder.label("abs2")  # t2 = ABS(oldx - old_mean)
+    builder.emit("sub  r7, r2, r12")
+    builder.emit("bgez r7, accumulate")
+    builder.emit("sub  r7, r0, r7")
+    builder.label("accumulate")  # *costptr += t1 - t2
+    builder.emit("sub  r8, r6, r7")
+    builder.emit("add  r3, r3, r8")
+    # Independent cost bookkeeping (keeps the backend busy between the
+    # hard branches, as twolf's real arithmetic does).
+    builder.emit_independent_alu(6, registers=(16, 17, 18))
+    builder.emit("lw   r10, {}(r10)".format(_NTERM))  # netptr = netptr->nterm
+    builder.emit("bne  r10, r0, inner")
+
+    builder.label("outer_latch")  # termptr = termptr->nextterm
+    builder.emit("lw   r9, {}(r9)".format(_NEXTTERM))
+    builder.emit("bne  r9, r0, outer")
+
+    builder.label("done")
+    builder.emit("halt")
+    return builder.source()

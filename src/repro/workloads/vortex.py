@@ -1,0 +1,69 @@
+"""Synthetic ``vortex``: call-heavy object-database transactions.
+
+A transaction loop calls a rotation of many medium-sized procedures
+whose combined text footprint exceeds the 8KB L1 I-cache, so the front
+end stalls on instruction fetch as the working set rotates.  Branches
+are highly predictable; the win comes from procedure fall-through
+spawns that fetch the post-call (and next-call) code early, overlapping
+instruction-cache misses with execution — the paper's vortex behaviour
+(procFT is essential; Figure 11 shows a 56% loss without it).
+"""
+
+from repro.workloads.builder import AsmBuilder, check_scale, scaled
+
+_PROCEDURE_COUNT = 12
+_BODY_BLOCKS = 11
+_BLOCK_INSTRUCTIONS = 16
+
+
+def _emit_procedure(builder, index):
+    """One straight-line procedure with a few predictable hammocks.
+
+    The body is independent ALU work (the backend drains it at full
+    width), so the baseline is fetch-bound: the performance limiter is
+    the L1 I-cache miss stream as the procedure working set rotates.
+    """
+    builder.label("proc_{}".format(index))
+    builder.emit("la   r16, arena_{}".format(index))
+    for block in range(_BODY_BLOCKS):
+        builder.emit_independent_alu(
+            _BLOCK_INSTRUCTIONS, registers=(17, 18, 19, 20, 21)
+        )
+        builder.emit("lw   r17, {}(r16)".format(8 * block))
+        if block % 4 == 1:
+            # Predictable if-then (almost never taken).
+            skip = builder.fresh_label("vx_skip")
+            builder.emit("bgez r17, {}".format(skip))
+            builder.emit("sub  r17, r0, r17")
+            builder.label(skip)
+    builder.emit("add  r1, r1, r17")
+    builder.emit("jr   ra")
+
+
+def build(scale=1.0):
+    """Generate the vortex-like assembly source."""
+    check_scale(scale)
+    builder = AsmBuilder("vortex", seed=0x40887E8)
+    # Each transaction runs all procedures (~3000 instructions).
+    transactions = scaled(12, scale, minimum=2)
+
+    builder.label("main")
+    builder.emit("li   r9, {}".format(transactions))
+    builder.label("txn_loop")
+    for index in range(_PROCEDURE_COUNT):
+        builder.emit("jal  proc_{}".format(index))
+        # Independent post-call work the spawned task can run early.
+        builder.emit_independent_alu(4, registers=(23, 24, 25))
+    builder.emit("addi r9, r9, -1")
+    builder.emit("bne  r9, r0, txn_loop")
+    builder.emit("halt")
+
+    for index in range(_PROCEDURE_COUNT):
+        _emit_procedure(builder, index)
+
+    for index in range(_PROCEDURE_COUNT):
+        builder.data_words(
+            "arena_{}".format(index),
+            [builder.random.randrange(1, 1 << 20) for _ in range(_BODY_BLOCKS)],
+        )
+    return builder.source()

@@ -1,0 +1,121 @@
+"""Synthetic ``vpr``: FPGA placement and routing kernels.
+
+``vpr.place``: a simulated-annealing swap loop — cost computation with
+loads, an accept/reject hammock near 45% taken, and a short update
+loop.  Moderate hammock and loopFT response.
+
+``vpr.route``: a maze router — an outer loop over independent nets and
+a *serial* inner wavefront-expansion loop.  The inner loop's fall
+through exposes outer-loop parallelism, making loopFT the dominant
+spawn type (Figure 11: ~29% loss without loopFT; a loopFT-leaning
+restriction can even beat full postdoms by a hair).
+"""
+
+from repro.workloads.builder import AsmBuilder, check_scale, scaled
+
+
+def build_place(scale=1.0):
+    """Generate the vpr.place-like assembly source."""
+    check_scale(scale)
+    builder = AsmBuilder("vpr.place", seed=0x7915)
+    rng = builder.random
+    swaps = scaled(700, scale, minimum=4)
+
+    builder.data_words("costs", [rng.randrange(0, 1 << 10) for _ in range(256)])
+    builder.data_words(
+        "accepts", [1 if rng.random() < 0.45 else 0 for _ in range(swaps)]
+    )
+
+    builder.label("main")
+    builder.emit("la   r9, costs")
+    builder.emit("la   r26, accepts")
+    builder.emit("li   r10, {}".format(swaps))
+
+    builder.label("try_swap")
+    # The blocks tried next depend on the accumulated cost (annealing
+    # walks the accepted state), so iterations carry a serial
+    # dependence and only modest speedups are available.
+    builder.emit("andi r11, r7, 2040")
+    builder.emit("add  r11, r9, r11")
+    builder.emit("lw   r2, 0(r11)")
+    builder.emit("lw   r4, 8(r11)")
+    builder.emit("sub  r5, r2, r4")
+    # Accept/reject hammock (~45% taken, data dependent).
+    builder.emit("lw   r6, 0(r26)")
+    builder.emit("bne  r6, r0, accept")
+    builder.label("reject")
+    builder.emit("xor  r7, r7, r5")
+    builder.emit("j    swap_done")
+    builder.label("accept")
+    builder.emit("add  r7, r7, r5")
+    builder.emit("sw   r7, 0(r11)")
+    builder.label("swap_done")
+
+    # Short bounding-box update loop (3 iterations).
+    builder.emit("li   r12, 3")
+    builder.emit("move r13, r11")
+    builder.label("update_bb")
+    builder.emit("lw   r14, 0(r13)")
+    builder.emit("add  r8, r8, r14")
+    builder.emit("addi r13, r13, 8")
+    builder.emit("addi r12, r12, -1")
+    builder.emit("bne  r12, r0, update_bb")
+
+    builder.emit("addi r26, r26, 8")
+    builder.emit("addi r10, r10, -1")
+    builder.emit("bne  r10, r0, try_swap")
+    builder.emit("halt")
+    return builder.source()
+
+
+def build_route(scale=1.0):
+    """Generate the vpr.route-like assembly source."""
+    check_scale(scale)
+    builder = AsmBuilder("vpr.route", seed=0x707E)
+    rng = builder.random
+    nets = scaled(300, scale, minimum=4)
+
+    builder.data_words("netlist", [rng.randrange(0, 1 << 12) for _ in range(nets)])
+    builder.data_words("grid", [rng.randrange(0, 1 << 8) for _ in range(512)])
+
+    builder.label("main")
+    builder.emit("la   r9, netlist")
+    builder.emit("la   r26, grid")
+    builder.emit("li   r10, {}".format(nets))
+
+    builder.label("route_net")  # outer loop: nets are independent
+    builder.emit("lw   r2, 0(r9)")
+    builder.emit("li   r1, 0")
+    # Three expansion waves per net; each wave's trip count is data
+    # dependent (2..9 iterations), so its exit branch mispredicts — the
+    # stall loop fall-through spawns jump over.
+    for wave, shift in enumerate((0, 3, 6)):
+        expand = builder.fresh_label("vr_expand")
+        if wave == 0:
+            # First wave: data-dependent trip count (2..9) whose exit
+            # branch mispredicts.
+            builder.emit("srli r11, r2, {}".format(shift))
+            builder.emit("andi r11, r11, 7")
+            builder.emit("addi r11, r11, 2")
+        else:
+            # Later waves: fixed trip counts the predictor learns.
+            builder.emit("li   r11, {}".format(3 + wave))
+        builder.emit("andi r12, r2, 504")
+        builder.emit("add  r12, r26, r12")
+        builder.label(expand)
+        builder.emit("lw   r13, {}(r12)".format(8 * wave))
+        builder.emit("add  r1, r1, r13")
+        builder.emit("xor  r4, r13, r2")
+        builder.emit("or   r5, r5, r13")
+        builder.emit("and  r6, r13, r2")
+        builder.emit("addi r12, r12, 8")
+        builder.emit("addi r11, r11, -1")
+        builder.emit("bne  r11, r0, {}".format(expand))
+
+    builder.label("net_done")  # final fall-through spawn target
+    builder.emit("add  r3, r3, r1")
+    builder.emit("addi r9, r9, 8")
+    builder.emit("addi r10, r10, -1")
+    builder.emit("bne  r10, r0, route_net")
+    builder.emit("halt")
+    return builder.source()

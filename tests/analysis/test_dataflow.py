@@ -1,0 +1,91 @@
+"""Tests for register def/use summaries and liveness."""
+
+from repro.analysis import block_defs, block_uses, compute_liveness, region_defs
+from repro.cfg import build_cfg
+from repro.isa import assemble
+
+
+def _cfg(source):
+    return build_cfg(assemble(source))
+
+
+def test_block_defs_and_uses():
+    cfg = _cfg(
+        """
+        .text
+            add r3, r1, r2
+            addi r1, r3, 4
+            halt
+        """
+    )
+    block = cfg.blocks[0]
+    assert block_defs(block) == frozenset({1, 3})
+    # r3 is defined before its use, so only r1/r2 are upward-exposed.
+    assert block_uses(block) == frozenset({1, 2})
+
+
+def test_r0_never_in_defs_or_uses():
+    cfg = _cfg(
+        """
+        .text
+            add r0, r0, r0
+            move r1, r0
+            halt
+        """
+    )
+    block = cfg.blocks[0]
+    assert 0 not in block_defs(block)
+    assert 0 not in block_uses(block)
+
+
+def test_region_defs_unions_blocks():
+    cfg = _cfg(
+        """
+        .text
+        a:  bne r9, r0, c
+        b:  addi r1, r1, 1
+            j d
+        c:  addi r2, r2, 1
+        d:  halt
+        """
+    )
+    b = cfg.block_containing_pc(cfg.blocks[1].start_pc)
+    c = cfg.block_containing_pc(cfg.blocks[2].start_pc)
+    assert region_defs(cfg, [b.index, c.index]) == frozenset({1, 2})
+
+
+def test_liveness_through_diamond():
+    cfg = _cfg(
+        """
+        .text
+        a:  bne r9, r0, c
+        b:  move r1, r2
+            j d
+        c:  move r1, r3
+        d:  sw r1, 0(r4)
+            halt
+        """
+    )
+    live_in, live_out = compute_liveness(cfg)
+    entry = cfg.blocks[0].index
+    # r2 and r3 are each live into the entry (used on some path), and r1
+    # is live out of both arms.
+    assert {2, 3, 9, 4} <= set(live_in[entry])
+    arm_b = cfg.blocks[1].index
+    assert 1 in live_out[arm_b]
+    assert 2 not in live_out[arm_b]
+
+
+def test_loop_carried_liveness():
+    cfg = _cfg(
+        """
+        .text
+        head:
+            addi r1, r1, -1
+            bne  r1, r0, head
+            halt
+        """
+    )
+    live_in, _ = compute_liveness(cfg)
+    head = cfg.blocks[0].index
+    assert 1 in live_in[head]

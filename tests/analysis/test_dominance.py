@@ -1,0 +1,102 @@
+"""Tests for dominator/postdominator computation."""
+
+import pytest
+
+from tests.helpers import make_cfg, paper_figure1_cfg
+
+from repro.analysis import (
+    compute_dominator_tree,
+    compute_postdominator_tree,
+    immediate_postdominator_block,
+)
+from repro.errors import AnalysisError
+
+
+def test_linear_chain_dominators():
+    cfg = make_cfg([(0, 1), (1, 2)], 3, exit_blocks=[2])
+    tree = compute_dominator_tree(cfg)
+    assert tree.parent(0) is None
+    assert tree.parent(1) == 0
+    assert tree.parent(2) == 1
+    assert tree.dominates(0, 2)
+
+
+def test_diamond_dominators():
+    cfg = make_cfg([(0, 1), (0, 2), (1, 3), (2, 3)], 4, exit_blocks=[3])
+    tree = compute_dominator_tree(cfg)
+    assert tree.parent(3) == 0  # join dominated by fork, not by arms
+    assert not tree.dominates(1, 3)
+    assert not tree.dominates(2, 3)
+
+
+def test_diamond_postdominators():
+    cfg = make_cfg([(0, 1), (0, 2), (1, 3), (2, 3)], 4, exit_blocks=[3])
+    tree = compute_postdominator_tree(cfg)
+    assert tree.parent(0) == 3  # ipdom of the fork is the join
+    assert tree.parent(1) == 3
+    assert tree.parent(2) == 3
+    assert tree.parent(3) == cfg.exit_index
+
+
+def test_loop_dominators():
+    # 0 -> 1 -> 2 -> 1 (back edge), 2 -> 3(exit)
+    cfg = make_cfg([(0, 1), (1, 2), (2, 1), (2, 3)], 4, exit_blocks=[3])
+    tree = compute_dominator_tree(cfg)
+    assert tree.parent(1) == 0
+    assert tree.parent(2) == 1
+    assert tree.dominates(1, 2)
+    assert not tree.dominates(2, 1)
+
+
+def test_multiple_exits_postdominators():
+    # 0 branches to 1 or 2; both return separately.
+    cfg = make_cfg([(0, 1), (0, 2)], 3, exit_blocks=[1, 2])
+    tree = compute_postdominator_tree(cfg)
+    assert tree.parent(0) == cfg.exit_index
+    assert immediate_postdominator_block(cfg, tree, 0) is None
+
+
+def test_infinite_loop_has_no_postdominator():
+    # 1 <-> 2 never reach the exit; 0 branches into the loop or to 3.
+    cfg = make_cfg([(0, 1), (1, 2), (2, 1), (0, 3)], 4, exit_blocks=[3])
+    tree = compute_postdominator_tree(cfg)
+    assert 1 not in tree
+    assert 2 not in tree
+    assert tree.parent_or_none(1) is None
+    with pytest.raises(AnalysisError):
+        tree.parent(1)
+
+
+def test_nested_diamond_postdominators():
+    # outer fork 0 -> (1 | 5); 1 forks to (2|3) joining at 4; all join at 6.
+    edges = [(0, 1), (0, 5), (1, 2), (1, 3), (2, 4), (3, 4), (4, 6), (5, 6)]
+    cfg = make_cfg(edges, 7, exit_blocks=[6])
+    tree = compute_postdominator_tree(cfg)
+    assert tree.parent(1) == 4
+    assert tree.parent(0) == 6
+    assert tree.dominates(6, 1)
+    assert not tree.dominates(4, 5)
+
+
+def test_strictly_dominates_is_irreflexive():
+    cfg = paper_figure1_cfg()
+    tree = compute_postdominator_tree(cfg)
+    for node in range(6):
+        assert not tree.strictly_dominates(node, node)
+        assert tree.dominates(node, node)
+
+
+def test_depths_increase_down_the_tree():
+    cfg = paper_figure1_cfg()
+    tree = compute_postdominator_tree(cfg)
+    assert tree.depth(cfg.exit_index) == 0
+    assert tree.depth(5) == 1  # F
+    assert tree.depth(4) == 2  # E
+    assert tree.depth(0) == 4  # A below B below E
+
+
+def test_immediate_postdominator_block_filters_exit():
+    cfg = paper_figure1_cfg()
+    tree = compute_postdominator_tree(cfg)
+    assert immediate_postdominator_block(cfg, tree, 1) == 4  # B -> E
+    assert immediate_postdominator_block(cfg, tree, 5) is None  # F -> exit

@@ -1,0 +1,72 @@
+"""Tests for natural-loop detection."""
+
+from tests.helpers import make_cfg, paper_figure1_cfg
+
+from repro.analysis import find_natural_loops
+
+
+def test_figure1_loop():
+    cfg = paper_figure1_cfg()
+    forest = find_natural_loops(cfg)
+    assert len(forest) == 1
+    loop = forest.loops[0]
+    assert loop.header == 0  # A
+    assert loop.body == frozenset(range(6))
+    assert loop.latches == frozenset({5})  # F
+    assert forest.is_back_edge(5, 0)
+    assert not forest.is_back_edge(0, 1)
+
+
+def test_nested_loops():
+    # 0 -> 1(outer header) -> 2(inner header) -> 2, 2 -> 3 -> 1, 3 -> 4
+    edges = [(0, 1), (1, 2), (2, 2), (2, 3), (3, 1), (3, 4)]
+    cfg = make_cfg(edges, 5, exit_blocks=[4])
+    forest = find_natural_loops(cfg)
+    assert len(forest) == 2
+    inner = forest.innermost_loop_of(2)
+    outer = forest.innermost_loop_of(1)
+    assert inner.header == 2
+    assert outer.header == 1
+    assert inner.parent is outer
+    assert inner.depth == 2
+    assert outer.depth == 1
+    assert inner in outer.children
+
+
+def test_loop_exit_edges():
+    edges = [(0, 1), (1, 2), (2, 1), (2, 3)]
+    cfg = make_cfg(edges, 4, exit_blocks=[3])
+    forest = find_natural_loops(cfg)
+    loop = forest.loops[0]
+    assert (2, 3) in loop.exit_edges
+    assert forest.is_loop_exit_edge(2, 3)
+    assert not forest.is_loop_exit_edge(2, 1)
+
+
+def test_merged_loops_with_shared_header():
+    # Two back edges to the same header: 1->... 2->1 and 3->1.
+    edges = [(0, 1), (1, 2), (1, 3), (2, 1), (3, 1), (1, 4)]
+    cfg = make_cfg(edges, 5, exit_blocks=[4])
+    forest = find_natural_loops(cfg)
+    assert len(forest) == 1
+    loop = forest.loops[0]
+    assert loop.latches == frozenset({2, 3})
+    assert loop.body == frozenset({1, 2, 3})
+
+
+def test_no_loops_in_dag():
+    cfg = make_cfg([(0, 1), (0, 2), (1, 3), (2, 3)], 4, exit_blocks=[3])
+    forest = find_natural_loops(cfg)
+    assert len(forest) == 0
+    assert forest.innermost_loop_of(0) is None
+    assert forest.top_level_loops() == []
+
+
+def test_self_loop():
+    cfg = make_cfg([(0, 1), (1, 1), (1, 2)], 3, exit_blocks=[2])
+    forest = find_natural_loops(cfg)
+    assert len(forest) == 1
+    loop = forest.loops[0]
+    assert loop.header == 1
+    assert loop.body == frozenset({1})
+    assert loop.latches == frozenset({1})

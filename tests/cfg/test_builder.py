@@ -1,0 +1,221 @@
+"""Tests for CFG construction from assembled programs."""
+
+from repro.cfg import JumpProfile, build_cfg, build_program_cfgs, cfg_to_dot
+from repro.isa import assemble
+from repro.sim import run_program
+
+
+def test_diamond_cfg():
+    program = assemble(
+        """
+        .text
+        entry:
+            bne r1, r0, else_side
+        then_side:
+            addi r2, r2, 1
+            j join
+        else_side:
+            addi r2, r2, 2
+        join:
+            halt
+        """
+    )
+    cfg = build_cfg(program)
+    assert len(cfg.blocks) == 4
+    entry = cfg.block_starting_at(program.address_of("entry"))
+    then_side = cfg.block_starting_at(program.address_of("then_side"))
+    else_side = cfg.block_starting_at(program.address_of("else_side"))
+    join = cfg.block_starting_at(program.address_of("join"))
+    assert sorted(entry.successors) == sorted([then_side.index, else_side.index])
+    assert then_side.successors == [join.index]
+    assert else_side.successors == [join.index]
+    assert join.index in cfg.exit_predecessors
+
+
+def test_loop_back_edge():
+    program = assemble(
+        """
+        .text
+        head:
+            addi r1, r1, -1
+            bne  r1, r0, head
+        done:
+            halt
+        """
+    )
+    cfg = build_cfg(program)
+    head = cfg.block_starting_at(program.address_of("head"))
+    done = cfg.block_starting_at(program.address_of("done"))
+    assert sorted(head.successors) == sorted([head.index, done.index])
+
+
+def test_call_falls_through_and_callee_is_separate_procedure():
+    program = assemble(
+        """
+        .text
+        main:
+            jal helper
+        after:
+            halt
+        helper:
+            jr ra
+        """
+    )
+    cfgs = build_program_cfgs(program)
+    assert len(cfgs) == 2
+    main_cfg = cfgs.cfg_of_entry(program.address_of("main"))
+    helper_cfg = cfgs.cfg_of_entry(program.address_of("helper"))
+    main_entry = main_cfg.block_starting_at(program.address_of("main"))
+    after = main_cfg.block_starting_at(program.address_of("after"))
+    assert main_entry.successors == [after.index]
+    # helper is not reachable intra-procedurally from main.
+    assert main_cfg.block_starting_at(program.address_of("helper")) is None
+    assert helper_cfg.blocks[0].terminator.is_return_like
+
+
+def test_return_connects_to_virtual_exit():
+    program = assemble(
+        """
+        .text
+        main:
+            jal f
+            halt
+        f:
+            bne r1, r0, out
+            nop
+        out:
+            jr ra
+        """
+    )
+    cfgs = build_program_cfgs(program)
+    f_cfg = cfgs.cfg_of_entry(program.address_of("f"))
+    out = f_cfg.block_starting_at(program.address_of("out"))
+    assert out.index in f_cfg.exit_predecessors
+
+
+def test_switch_jump_uses_profile_targets():
+    source = """
+        .text
+        main:
+            la   r1, table
+            li   r6, 0
+        loop:
+            slli r3, r6, 3
+            add  r3, r1, r3
+            lw   r4, 0(r3)
+            jr   r4
+        case0:
+            addi r5, r5, 1
+            j    next
+        case1:
+            addi r5, r5, 2
+        next:
+            addi r6, r6, 1
+            slti r7, r6, 2
+            bne  r7, r0, loop
+            halt
+        .data
+        table: .word case0, case1
+        """
+    program = assemble(source)
+    trace = run_program(program)
+    profile = JumpProfile.from_trace(trace)
+    cfg = build_cfg(program, jump_profile=profile)
+    dispatch = cfg.block_containing_pc(program.address_of("loop"))
+    targets = {cfg.blocks[s].start_pc for s in dispatch.successors}
+    assert targets == {program.address_of("case0"), program.address_of("case1")}
+
+
+def test_switch_without_profile_goes_to_exit():
+    program = assemble(
+        """
+        .text
+            jr r5
+            halt
+        """
+    )
+    cfg = build_cfg(program)
+    assert cfg.blocks[0].successors == []
+    assert 0 in cfg.exit_predecessors
+
+
+def test_reverse_postorder_starts_at_entry():
+    program = assemble(
+        """
+        .text
+        a:  bne r1, r0, c
+        b:  nop
+        c:  halt
+        """
+    )
+    cfg = build_cfg(program)
+    order = cfg.reverse_postorder()
+    assert order[0] == cfg.entry_index
+    assert cfg.exit_index in order
+
+
+def test_block_pc_queries():
+    program = assemble(
+        """
+        .text
+        a:  nop
+            nop
+            beq r1, r0, a
+            halt
+        """
+    )
+    cfg = build_cfg(program)
+    first = cfg.blocks[0]
+    assert cfg.block_containing_pc(first.start_pc + 4) is first
+    assert cfg.block_starting_at(first.start_pc + 4) is None
+
+
+def test_indirect_call_targets_from_profile():
+    source = """
+        .text
+        main:
+            la   r9, callee
+            jalr r9
+            halt
+        callee:
+            jr ra
+        """
+    program = assemble(source)
+    trace = run_program(program)
+    profile = JumpProfile.from_trace(trace)
+    cfgs = build_program_cfgs(program, jump_profile=profile)
+    assert program.address_of("callee") in cfgs.procedures
+
+
+def test_location_of_pc():
+    program = assemble(
+        """
+        .text
+        main:
+            jal f
+            halt
+        f:
+            jr ra
+        """
+    )
+    cfgs = build_program_cfgs(program)
+    cfg, block = cfgs.location_of_pc(program.address_of("f"))
+    assert cfg is cfgs.cfg_of_entry(program.address_of("f"))
+    assert block.start_pc == program.address_of("f")
+    assert cfgs.location_of_pc(0xDEAD) == (None, None)
+
+
+def test_dot_export_contains_all_blocks():
+    program = assemble(
+        """
+        .text
+        a:  bne r1, r0, c
+        b:  nop
+        c:  halt
+        """
+    )
+    cfg = build_cfg(program)
+    dot = cfg_to_dot(cfg)
+    assert dot.count("n0") >= 1
+    assert "EXIT" in dot
+    assert dot.startswith("digraph")

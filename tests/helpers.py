@@ -1,0 +1,44 @@
+"""Shared test helpers."""
+
+from repro.cfg import BasicBlock, ControlFlowGraph
+from repro.isa.instructions import Instruction, Opcode
+
+
+def make_cfg(edge_list, block_count, exit_blocks, entry_index=0, name="test"):
+    """Construct a CFG directly from an edge list.
+
+    Blocks are filled with single NOP instructions at distinct PCs so
+    that pc-based queries work.
+
+    Args:
+        edge_list: Iterable of ``(source, destination)`` block-index pairs.
+        block_count: Number of basic blocks.
+        exit_blocks: Block indices with an edge to the virtual exit.
+        entry_index: Entry block index.
+        name: CFG name.
+    """
+    blocks = [
+        BasicBlock(index, [Instruction(0x1000 + 4 * index, Opcode.NOP, text="nop")])
+        for index in range(block_count)
+    ]
+    cfg = ControlFlowGraph(blocks, entry_index, name=name)
+    for source, destination in edge_list:
+        cfg.add_edge(source, destination)
+    for source in exit_blocks:
+        cfg.add_exit_edge(source)
+    return cfg
+
+
+def paper_figure1_cfg():
+    """The loop-with-hammock CFG of the paper's Figure 1.
+
+    Blocks 0..5 correspond to A..F: A->B; B->C|D; C->E; D->E; E->F;
+    F->A (loop back edge) and F->exit.
+    """
+    a, b, c, d, e, f = range(6)
+    return make_cfg(
+        [(a, b), (b, c), (b, d), (c, e), (d, e), (e, f), (f, a)],
+        block_count=6,
+        exit_blocks=[f],
+        name="figure1",
+    )

@@ -1,0 +1,75 @@
+"""Tests for the disassembler (round-trips with the assembler)."""
+
+import pytest
+
+from repro.isa import assemble, disassemble, disassemble_program
+
+_ROUNDTRIP_SOURCE = """
+    .text
+    main:
+        add  r1, r2, r3
+        sub  r4, r5, r6
+        mul  r7, r8, r9
+        addi r1, r2, -7
+        andi r3, r4, 255
+        slli r5, r6, 3
+        lui  r7, 16
+        lw   r1, 8(r2)
+        sw   r3, -16(r4)
+        lb   r5, 0(r6)
+        sh   r7, 2(r8)
+        beq  r1, r2, main
+        bne  r3, r4, main
+        bgez r5, main
+        j    main
+        jal  main
+        jr   ra
+        jalr r9
+        nop
+        halt
+"""
+
+
+def test_disassemble_reassembles_to_same_program():
+    program = assemble(_ROUNDTRIP_SOURCE)
+    lines = [".text"]
+    for pc, text in disassemble_program(program):
+        lines.append("    " + text)
+    reassembled = assemble("\n".join(lines))
+    assert len(reassembled) == len(program)
+    for original, copy in zip(program.instructions, reassembled.instructions):
+        assert original.opcode == copy.opcode
+        assert original.rd == copy.rd
+        assert original.rs == copy.rs
+        assert original.rt == copy.rt
+        assert original.imm == copy.imm
+        assert original.target == copy.target
+
+
+@pytest.mark.parametrize(
+    "source,expected",
+    [
+        (".text\n add r1, r2, r3\n halt", "add r1, r2, r3"),
+        (".text\n addi r1, r0, 5\n halt", "addi r1, r0, 5"),
+        (".text\n lw r3, -8(sp)\n halt", "lw r3, -8(sp)"),
+        (".text\n sw r3, 0(r9)\n halt", "sw r3, 0(r9)"),
+        (".text\n jr ra\n halt", "jr ra"),
+        (".text\n halt", "halt"),
+    ],
+)
+def test_disassemble_formats(source, expected):
+    program = assemble(source)
+    assert disassemble(program.instructions[0]) == expected
+
+
+def test_disassemble_branch_target_is_hex():
+    program = assemble(".text\n a: beq r1, r2, a\n halt")
+    text = disassemble(program.instructions[0])
+    assert text.startswith("beq r1, r2, 0x")
+
+
+def test_disassemble_program_window():
+    program = assemble(".text\n nop\n nop\n nop\n halt")
+    window = list(disassemble_program(program, start_pc=program.text_base + 4, count=2))
+    assert len(window) == 2
+    assert window[0][0] == program.text_base + 4

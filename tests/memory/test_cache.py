@@ -1,0 +1,106 @@
+"""Tests for the cache model and Figure 8 hierarchy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory import Cache, CacheHierarchy
+
+
+def test_cold_miss_then_hit():
+    cache = Cache(size=1024, associativity=2, line_size=64)
+    assert not cache.access(0x100)
+    assert cache.access(0x100)
+    assert cache.access(0x13F)  # same 64-byte line
+    assert cache.hits == 2
+    assert cache.misses == 1
+
+
+def test_distinct_lines_miss_separately():
+    cache = Cache(size=1024, associativity=2, line_size=64)
+    assert not cache.access(0x000)
+    assert not cache.access(0x040)
+    assert cache.access(0x000)
+
+
+def test_lru_eviction_within_set():
+    # Direct calculation: 2-way, 64B lines, 256B cache -> 2 sets.
+    cache = Cache(size=256, associativity=2, line_size=64)
+    # Three lines mapping to set 0 (stride = set_count * line = 128).
+    a, b, c = 0x000, 0x100, 0x200
+    cache.access(a)
+    cache.access(b)
+    cache.access(c)  # evicts a (LRU)
+    assert not cache.access(a)  # a was evicted
+    assert cache.access(c)  # c still resident
+
+
+def test_lru_updated_on_hit():
+    cache = Cache(size=256, associativity=2, line_size=64)
+    a, b, c = 0x000, 0x100, 0x200
+    cache.access(a)
+    cache.access(b)
+    cache.access(a)  # touch a: now b is LRU
+    cache.access(c)  # evicts b
+    assert cache.access(a)
+    assert not cache.access(b)
+
+
+def test_probe_does_not_fill():
+    cache = Cache(size=1024, associativity=2, line_size=64)
+    assert not cache.probe(0x500)
+    assert not cache.access(0x500)  # still a miss: probe did not fill
+    assert cache.probe(0x500)
+
+
+def test_miss_rate_and_reset():
+    cache = Cache(size=1024, associativity=2, line_size=64)
+    cache.access(0x0)
+    cache.access(0x0)
+    assert cache.miss_rate == 0.5
+    cache.reset_statistics()
+    assert cache.accesses == 0
+    assert cache.miss_rate == 0.0
+    assert cache.access(0x0)  # contents survived the reset
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ConfigurationError):
+        Cache(size=1000, associativity=2, line_size=64)
+    with pytest.raises(ConfigurationError):
+        Cache(size=1024, associativity=3, line_size=64)
+
+
+def test_hierarchy_latencies():
+    hierarchy = CacheHierarchy()
+    # Cold: miss everywhere.
+    assert hierarchy.data_latency(0x1000) == 1 + 10 + 100
+    # Warm in both levels.
+    assert hierarchy.data_latency(0x1000) == 1
+    # Conflict out of L1 but still in L2: build pressure on one L1D set.
+    # L1D: 16KB 4-way 64B lines -> 64 sets, stride 64*64 = 4KB.
+    for way in range(8):
+        hierarchy.data_latency(0x1000 + way * 4096)
+    latency = hierarchy.data_latency(0x1000 + 4 * 4096)
+    assert latency in (1, 11)  # L1 hit or L2 hit, never full memory
+
+
+def test_hierarchy_fetch_uses_l1i():
+    hierarchy = CacheHierarchy()
+    hierarchy.fetch_latency(0x9000)
+    assert hierarchy.l1i.accesses == 1
+    assert hierarchy.l1d.accesses == 0
+    stats = hierarchy.statistics()
+    assert stats["L1I"] == (0, 1)
+
+
+def test_hierarchy_figure8_geometry():
+    hierarchy = CacheHierarchy()
+    assert hierarchy.l1i.size == 8 * 1024
+    assert hierarchy.l1i.associativity == 2
+    assert hierarchy.l1i.line_size == 128
+    assert hierarchy.l1d.size == 16 * 1024
+    assert hierarchy.l1d.associativity == 4
+    assert hierarchy.l1d.line_size == 64
+    assert hierarchy.l2.size == 512 * 1024
+    assert hierarchy.l2.associativity == 8
+    assert hierarchy.l2.line_size == 128

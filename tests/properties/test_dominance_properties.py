@@ -1,0 +1,125 @@
+"""Property-based tests for dominance analysis on random CFGs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import make_cfg
+
+from repro.analysis import (
+    compute_control_dependence,
+    compute_dominator_tree,
+    compute_postdominator_tree,
+    find_natural_loops,
+)
+
+
+@st.composite
+def random_cfgs(draw):
+    """Random connected CFGs with every block able to reach the exit."""
+    block_count = draw(st.integers(min_value=2, max_value=12))
+    edges = set()
+    # A spanning chain guarantees connectivity from the entry...
+    for node in range(block_count - 1):
+        edges.add((node, node + 1))
+    # ...plus random extra edges (forward and backward).
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, block_count - 1), st.integers(0, block_count - 1)
+            ),
+            max_size=block_count * 2,
+        )
+    )
+    for source, destination in extra:
+        if source != destination or True:
+            edges.add((source, destination))
+    # The chain's last node exits, so every node reaches the exit.
+    return make_cfg(sorted(edges), block_count, exit_blocks=[block_count - 1])
+
+
+@given(random_cfgs())
+@settings(max_examples=60, deadline=None)
+def test_entry_dominates_every_reachable_node(cfg):
+    tree = compute_dominator_tree(cfg)
+    for node in tree.nodes():
+        assert tree.dominates(cfg.entry_index, node)
+
+
+@given(random_cfgs())
+@settings(max_examples=60, deadline=None)
+def test_exit_postdominates_every_node_reaching_it(cfg):
+    tree = compute_postdominator_tree(cfg)
+    for node in tree.nodes():
+        assert tree.dominates(cfg.exit_index, node)
+
+
+@given(random_cfgs())
+@settings(max_examples=60, deadline=None)
+def test_idom_is_a_strict_dominator(cfg):
+    tree = compute_dominator_tree(cfg)
+    for node in tree.nodes():
+        parent = tree.parent_or_none(node)
+        if parent is not None:
+            assert tree.strictly_dominates(parent, node)
+
+
+@given(random_cfgs())
+@settings(max_examples=60, deadline=None)
+def test_ipdom_postdominates_all_successors(cfg):
+    """The ipdom of a node postdominates every successor of the node."""
+    tree = compute_postdominator_tree(cfg)
+    for node in range(len(cfg.blocks)):
+        if node not in tree:
+            continue
+        parent = tree.parent_or_none(node)
+        if parent is None:
+            continue
+        for successor in cfg.successors(node):
+            if successor in tree and successor != node:
+                assert tree.dominates(parent, successor)
+
+
+@given(random_cfgs())
+@settings(max_examples=60, deadline=None)
+def test_dominance_is_antisymmetric(cfg):
+    tree = compute_dominator_tree(cfg)
+    nodes = list(tree.nodes())
+    for a in nodes:
+        for b in nodes:
+            if a != b and tree.dominates(a, b):
+                assert not tree.dominates(b, a)
+
+
+@given(random_cfgs())
+@settings(max_examples=40, deadline=None)
+def test_control_dependence_consistent_with_postdominance(cfg):
+    """X is control dependent on A only if X does not postdominate A
+    (the FOW definition's necessary condition)."""
+    pdom = compute_postdominator_tree(cfg)
+    cdg = compute_control_dependence(cfg, pdom)
+    for node in range(len(cfg.blocks)):
+        for controller in cdg.controllers_of(node):
+            if node != controller:
+                assert not pdom.strictly_dominates(node, controller) or not (
+                    pdom.dominates(node, controller)
+                )
+
+
+@given(random_cfgs())
+@settings(max_examples=40, deadline=None)
+def test_loop_headers_dominate_their_bodies(cfg):
+    dom = compute_dominator_tree(cfg)
+    forest = find_natural_loops(cfg, dom)
+    for loop in forest:
+        for node in loop.body:
+            assert dom.dominates(loop.header, node)
+
+
+@given(random_cfgs())
+@settings(max_examples=40, deadline=None)
+def test_nested_loops_are_properly_contained(cfg):
+    forest = find_natural_loops(cfg)
+    for loop in forest:
+        if loop.parent is not None:
+            assert loop.body <= loop.parent.body
+            assert loop.depth == loop.parent.depth + 1

@@ -1,0 +1,68 @@
+"""Property-based tests for the machine substrates."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import GsharePredictor, ReturnAddressStack
+from repro.memory import Cache
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=300)
+)
+@settings(max_examples=50, deadline=None)
+def test_cache_hits_plus_misses_equals_accesses(addresses):
+    cache = Cache(size=1024, associativity=2, line_size=64)
+    for address in addresses:
+        cache.access(address)
+    assert cache.hits + cache.misses == len(addresses)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=200)
+)
+@settings(max_examples=50, deadline=None)
+def test_immediate_reaccess_always_hits(addresses):
+    cache = Cache(size=1024, associativity=2, line_size=64)
+    for address in addresses:
+        cache.access(address)
+        assert cache.access(address)  # the line was just filled
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=200)
+)
+@settings(max_examples=50, deadline=None)
+def test_cache_set_occupancy_never_exceeds_associativity(addresses):
+    cache = Cache(size=512, associativity=2, line_size=64)
+    for address in addresses:
+        cache.access(address)
+        assert all(len(s) <= cache.associativity for s in cache._sets)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1 << 16), st.booleans()),
+        min_size=1,
+        max_size=500,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_gshare_counters_stay_saturated(outcomes):
+    predictor = GsharePredictor(counters=64, history_bits=4)
+    for pc, taken in outcomes:
+        predictor.predict_and_update(pc << 2, taken)
+    assert all(0 <= counter <= 3 for counter in predictor.counters)
+    assert 0 <= predictor.history < 16
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 30), max_size=64))
+@settings(max_examples=50, deadline=None)
+def test_ras_is_lifo_within_depth(pushes):
+    ras = ReturnAddressStack(depth=16)
+    for value in pushes:
+        ras.push(value)
+    expected = pushes[-16:]
+    for value in reversed(expected):
+        assert ras.pop() == value
+    assert ras.pop() is None

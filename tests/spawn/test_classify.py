@@ -1,0 +1,210 @@
+"""Tests for spawn-point classification (Section 2.2 categories)."""
+
+from repro.cfg import JumpProfile, build_program_cfgs
+from repro.isa import assemble
+from repro.sim import run_program
+from repro.spawn import (
+    SpawnCategory,
+    classify_program,
+    static_distribution,
+)
+
+_NEST_SOURCE = """
+    .text
+    main:
+        li   r10, 3
+    outer:
+        li   r11, 3
+    inner:
+        bne  r2, r12, else_arm
+    then_arm:
+        addi r3, r3, 1
+        j    join1
+    else_arm:
+        addi r3, r3, 2
+    join1:
+        bgez r4, join2
+        sub  r4, r0, r4
+    join2:
+        addi r11, r11, -1
+        bne  r11, r0, inner
+    after_inner:
+        addi r10, r10, -1
+        bne  r10, r0, outer
+    after_outer:
+        jal  helper
+    after_call:
+        halt
+    helper:
+        jr ra
+"""
+
+
+def _points_by_trigger(source):
+    program = assemble(source)
+    cfgs = build_program_cfgs(program)
+    points = classify_program(cfgs)
+    return program, {point.trigger_pc: point for point in points}
+
+
+def test_if_then_else_is_hammock():
+    program, by_trigger = _points_by_trigger(_NEST_SOURCE)
+    point = by_trigger[program.address_of("inner")]
+    assert point.category == SpawnCategory.HAMMOCK
+    assert point.spawn_pc == program.address_of("join1")
+
+
+def test_if_then_is_hammock():
+    program, by_trigger = _points_by_trigger(_NEST_SOURCE)
+    point = by_trigger[program.address_of("join1")]
+    assert point.category == SpawnCategory.HAMMOCK
+    assert point.spawn_pc == program.address_of("join2")
+
+
+def test_inner_loop_branch_is_loop_fall_through():
+    program, by_trigger = _points_by_trigger(_NEST_SOURCE)
+    # The loop branch is the second instruction of the join2 block.
+    trigger = program.address_of("join2") + 4
+    point = by_trigger[trigger]
+    assert point.category == SpawnCategory.LOOP_FALL_THROUGH
+    assert point.spawn_pc == program.address_of("after_inner")
+
+
+def test_outer_loop_branch_is_loop_fall_through():
+    program, by_trigger = _points_by_trigger(_NEST_SOURCE)
+    trigger = program.address_of("after_inner") + 4
+    point = by_trigger[trigger]
+    assert point.category == SpawnCategory.LOOP_FALL_THROUGH
+    assert point.spawn_pc == program.address_of("after_outer")
+
+
+def test_call_is_procedure_fall_through():
+    program, by_trigger = _points_by_trigger(_NEST_SOURCE)
+    point = by_trigger[program.address_of("after_outer")]
+    assert point.category == SpawnCategory.PROCEDURE_FALL_THROUGH
+    assert point.spawn_pc == program.address_of("after_call")
+
+
+def test_non_branching_blocks_are_not_spawn_points():
+    program, by_trigger = _points_by_trigger(_NEST_SOURCE)
+    # then_arm ends in an unconditional direct jump: no spawn point.
+    then_arm_jump = program.address_of("then_arm") + 4
+    assert then_arm_jump not in by_trigger
+
+
+def test_loop_break_is_loop_fall_through():
+    source = """
+        .text
+        loop:
+            beq  r5, r0, break_out
+            addi r5, r5, -1
+            j    loop
+        break_out:
+            halt
+    """
+    program, by_trigger = _points_by_trigger(source)
+    point = by_trigger[program.address_of("loop")]
+    assert point.category == SpawnCategory.LOOP_FALL_THROUGH
+    assert point.spawn_pc == program.address_of("break_out")
+
+
+def test_side_entry_region_is_other():
+    source = """
+        .text
+        start:
+            beq r9, r0, arm2
+        head:
+            bne r1, r0, arm2
+        arm1:
+            addi r2, r2, 1
+            j   join
+        arm2:
+            addi r2, r2, 2
+        join:
+            halt
+    """
+    program, by_trigger = _points_by_trigger(source)
+    head = by_trigger[program.address_of("head")]
+    assert head.category == SpawnCategory.OTHER
+    assert head.spawn_pc == program.address_of("join")
+    # The outer branch's region is single-entry: still a hammock.
+    start = by_trigger[program.address_of("start")]
+    assert start.category == SpawnCategory.HAMMOCK
+
+
+def test_switch_jump_is_other():
+    source = """
+        .text
+        main:
+            la   r1, table
+            li   r6, 0
+        loop:
+            slli r3, r6, 3
+            add  r3, r1, r3
+            lw   r4, 0(r3)
+            jr   r4
+        case0:
+            addi r5, r5, 1
+            j    next
+        case1:
+            addi r5, r5, 2
+        next:
+            addi r6, r6, 1
+            slti r7, r6, 2
+            bne  r7, r0, loop
+            halt
+        .data
+        table: .word case0, case1
+    """
+    program = assemble(source)
+    trace = run_program(program)
+    profile = JumpProfile.from_trace(trace)
+    cfgs = build_program_cfgs(program, jump_profile=profile)
+    points = classify_program(cfgs)
+    switch_pc = program.address_of("loop") + 12
+    switch_points = [p for p in points if p.trigger_pc == switch_pc]
+    assert len(switch_points) == 1
+    assert switch_points[0].category == SpawnCategory.OTHER
+    assert switch_points[0].spawn_pc == program.address_of("next")
+
+
+def test_hammock_with_embedded_call_is_still_hammock():
+    source = """
+        .text
+        main:
+            bne r1, r0, skip
+            jal helper
+        skip:
+            halt
+        helper:
+            jr ra
+    """
+    program, by_trigger = _points_by_trigger(source)
+    point = by_trigger[program.address_of("main")]
+    assert point.category == SpawnCategory.HAMMOCK
+    # The embedded call also contributes its own procFT spawn.
+    call_point = by_trigger[program.address_of("main") + 4]
+    assert call_point.category == SpawnCategory.PROCEDURE_FALL_THROUGH
+
+
+def test_branch_without_in_procedure_ipdom_has_no_spawn():
+    source = """
+        .text
+        main:
+            bne r1, r0, out_b
+        out_a:
+            halt
+        out_b:
+            halt
+    """
+    program, by_trigger = _points_by_trigger(source)
+    assert program.address_of("main") not in by_trigger
+
+
+def test_static_distribution_counts():
+    program, by_trigger = _points_by_trigger(_NEST_SOURCE)
+    distribution = static_distribution(by_trigger.values())
+    assert distribution[SpawnCategory.HAMMOCK] == 2
+    assert distribution[SpawnCategory.LOOP_FALL_THROUGH] == 2
+    assert distribution[SpawnCategory.PROCEDURE_FALL_THROUGH] == 1
+    assert distribution[SpawnCategory.OTHER] == 0

@@ -1,0 +1,82 @@
+"""Tests for policy coverage analysis (Section 4.1's subsumption)."""
+
+from repro.cfg import build_program_cfgs
+from repro.isa import assemble
+from repro.sim import run_program
+from repro.spawn import (
+    SpawnAnalysis,
+    coverage,
+    heuristic_subsumption,
+    profile_spawn_points,
+)
+
+_SOURCE = """
+    .text
+    main:
+        li   r10, 10
+    outer:
+        li   r11, 3
+    inner:
+        bne  r2, r12, else_arm
+        addi r3, r3, 1
+        j    join1
+    else_arm:
+        addi r3, r3, 2
+    join1:
+        addi r11, r11, -1
+        bne  r11, r0, inner
+    after_inner:
+        jal  helper
+        addi r10, r10, -1
+        bne  r10, r0, outer
+        halt
+    helper:
+        jr ra
+"""
+
+
+def _analysis():
+    program = assemble(_SOURCE)
+    return program, SpawnAnalysis(build_program_cfgs(program))
+
+
+def test_ipdom_heuristics_fully_covered_by_postdoms():
+    _, analysis = _analysis()
+    fractions = heuristic_subsumption(analysis)
+    for spec in ("loopFT", "procFT", "hammock", "other"):
+        assert fractions[spec] == 1.0
+
+
+def test_loop_spawns_not_directly_in_postdoms():
+    _, analysis = _analysis()
+    fractions = heuristic_subsumption(analysis)
+    # Loop-iteration spawns target latches, not ipdoms: the postdominator
+    # set captures their benefit indirectly, not point-for-point.
+    assert fractions["loop"] < 1.0
+
+
+def test_coverage_report_fields():
+    _, analysis = _analysis()
+    hammock = analysis.policy("hammock")
+    postdoms = analysis.policy("postdoms")
+    report = coverage(hammock, postdoms)
+    assert len(report.shared) == len(hammock)
+    assert not report.only_candidate
+    assert len(report.only_reference) == len(postdoms) - len(hammock)
+    assert report.candidate_covered_fraction == 1.0
+
+
+def test_dynamic_coverage_uses_profile():
+    program, analysis = _analysis()
+    trace = run_program(program)
+    points = list(analysis.postdominator_points) + list(analysis.loop_points)
+    profile = profile_spawn_points(trace, points)
+    report = coverage(analysis.policy("loop"), analysis.policy("postdoms"))
+    fraction = report.dynamic_covered_fraction(profile)
+    assert 0.0 <= fraction <= 1.0
+
+
+def test_empty_candidate_is_fully_covered():
+    _, analysis = _analysis()
+    report = coverage(analysis.empty_policy(), analysis.policy("postdoms"))
+    assert report.candidate_covered_fraction == 1.0

@@ -1,0 +1,155 @@
+"""Tests for spawn policies and loop-iteration spawns."""
+
+import pytest
+
+from repro.cfg import build_program_cfgs
+from repro.errors import ConfigurationError
+from repro.isa import assemble
+from repro.spawn import SpawnAnalysis, SpawnCategory, merge_policies
+
+_SOURCE = """
+    .text
+    main:
+        li   r10, 3
+    outer:
+        li   r11, 3
+    inner:
+        bne  r2, r12, else_arm
+    then_arm:
+        addi r3, r3, 1
+        j    join1
+    else_arm:
+        addi r3, r3, 2
+    join1:
+        bgez r4, join2
+        sub  r4, r0, r4
+    join2:
+        addi r11, r11, -1
+        bne  r11, r0, inner
+    after_inner:
+        addi r10, r10, -1
+        bne  r10, r0, outer
+    after_outer:
+        jal  helper
+    after_call:
+        halt
+    helper:
+        jr ra
+"""
+
+
+@pytest.fixture()
+def analysis():
+    program = assemble(_SOURCE)
+    cfgs = build_program_cfgs(program)
+    return program, SpawnAnalysis(cfgs)
+
+
+def test_postdoms_policy_has_all_categories(analysis):
+    program, spawn_analysis = analysis
+    policy = spawn_analysis.policy("postdoms")
+    assert policy.categories() == {
+        SpawnCategory.HAMMOCK,
+        SpawnCategory.LOOP_FALL_THROUGH,
+        SpawnCategory.PROCEDURE_FALL_THROUGH,
+    }
+    assert len(policy) == 5
+
+
+def test_individual_policies_partition_postdoms(analysis):
+    _, spawn_analysis = analysis
+    postdoms = spawn_analysis.policy("postdoms")
+    total = sum(
+        len(spawn_analysis.policy(spec))
+        for spec in ("loopFT", "procFT", "hammock", "other")
+    )
+    assert total == len(postdoms)
+
+
+def test_exclusion_policy_drops_one_category(analysis):
+    _, spawn_analysis = analysis
+    policy = spawn_analysis.policy("postdoms-hammock")
+    assert SpawnCategory.HAMMOCK not in policy.categories()
+    assert len(policy) == len(spawn_analysis.policy("postdoms")) - len(
+        spawn_analysis.policy("hammock")
+    )
+
+
+def test_loop_policy_spawns_latch_from_header(analysis):
+    program, spawn_analysis = analysis
+    policy = spawn_analysis.policy("loop")
+    assert len(policy) == 2
+    # Inner loop: trigger at the header (the 'inner' block), spawning the
+    # latch block (join2, which ends in the back-edge branch).
+    inner_point = policy.spawn_for(program.address_of("inner"))
+    assert inner_point is not None
+    assert inner_point.spawn_pc == program.address_of("join2")
+    outer_point = policy.spawn_for(program.address_of("outer"))
+    assert outer_point is not None
+    assert outer_point.spawn_pc == program.address_of("after_inner")
+
+
+def test_combination_policy(analysis):
+    program, spawn_analysis = analysis
+    policy = spawn_analysis.policy("loop+loopFT")
+    categories = policy.categories()
+    assert SpawnCategory.LOOP in categories
+    assert SpawnCategory.LOOP_FALL_THROUGH in categories
+    assert SpawnCategory.HAMMOCK not in categories
+
+
+def test_trigger_conflicts_resolved_by_spec_order(analysis):
+    program, spawn_analysis = analysis
+    # The 'inner' block starts with its hammock branch, so the loop
+    # trigger (header start) collides with the hammock trigger.
+    loop_first = spawn_analysis.policy("loop+hammock")
+    point = loop_first.spawn_for(program.address_of("inner"))
+    assert point.category == SpawnCategory.LOOP
+    hammock_first = spawn_analysis.policy("hammock+loop")
+    point = hammock_first.spawn_for(program.address_of("inner"))
+    assert point.category == SpawnCategory.HAMMOCK
+
+
+def test_unknown_spec_raises(analysis):
+    _, spawn_analysis = analysis
+    with pytest.raises(ConfigurationError):
+        spawn_analysis.policy("bogus")
+    with pytest.raises(ConfigurationError):
+        spawn_analysis.policy("postdoms-bogus")
+
+
+def test_empty_policy(analysis):
+    _, spawn_analysis = analysis
+    policy = spawn_analysis.empty_policy()
+    assert len(policy) == 0
+    assert policy.spawn_for(0x9000) is None
+
+
+def test_merge_policies(analysis):
+    _, spawn_analysis = analysis
+    merged = merge_policies(
+        "merged",
+        spawn_analysis.policy("hammock"),
+        spawn_analysis.policy("procFT"),
+    )
+    assert len(merged) == len(spawn_analysis.policy("hammock")) + len(
+        spawn_analysis.policy("procFT")
+    )
+
+
+def test_single_block_self_loop_spawn():
+    source = """
+        .text
+        spin:
+            addi r1, r1, -1
+            bne  r1, r0, spin
+            halt
+    """
+    program = assemble(source)
+    spawn_analysis = SpawnAnalysis(build_program_cfgs(program))
+    policy = spawn_analysis.policy("loop")
+    assert len(policy) == 1
+    point = policy.points[0]
+    # Degenerate single-block loop: the spawn target is the block itself.
+    assert point.spawn_pc == program.address_of("spin")
+    assert point.category == SpawnCategory.LOOP

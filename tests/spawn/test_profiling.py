@@ -1,0 +1,108 @@
+"""Tests for the spawn-point profiler and hint table."""
+
+from repro.cfg import build_program_cfgs
+from repro.isa import assemble
+from repro.sim import run_program
+from repro.spawn import SpawnAnalysis, profile_spawn_points
+
+_SOURCE = """
+    .text
+    main:
+        li   r10, 5
+    loop:
+        bne  r2, r0, else_arm
+    then_arm:
+        addi r3, r3, 1
+        j    join
+    else_arm:
+        addi r4, r4, 2
+    join:
+        addi r10, r10, -1
+        bne  r10, r0, loop
+    done:
+        halt
+"""
+
+
+def _setup():
+    program = assemble(_SOURCE)
+    trace = run_program(program)
+    analysis = SpawnAnalysis(build_program_cfgs(program))
+    return program, trace, analysis
+
+
+def test_profile_counts_occurrences():
+    program, trace, analysis = _setup()
+    policy = analysis.policy("postdoms")
+    profile = profile_spawn_points(trace, policy.points)
+    hammock = policy.spawn_for(program.address_of("loop"))
+    point_profile = profile.of_point(hammock)
+    assert point_profile.occurrences == 5
+    assert point_profile.reachable_occurrences == 5
+    assert point_profile.reachability == 1.0
+
+
+def test_profile_distances():
+    program, trace, analysis = _setup()
+    policy = analysis.policy("postdoms")
+    profile = profile_spawn_points(trace, policy.points)
+    hammock = policy.spawn_for(program.address_of("loop"))
+    point_profile = profile.of_point(hammock)
+    # r2 == 0 so the then arm runs: bne -> addi -> j -> join = 3.
+    assert point_profile.mean_distance == 3.0
+
+
+def test_profile_write_sets():
+    program, trace, analysis = _setup()
+    policy = analysis.policy("postdoms")
+    profile = profile_spawn_points(trace, policy.points)
+    hammock = policy.spawn_for(program.address_of("loop"))
+    entry = profile.of_point(hammock).to_hint_entry()
+    # The then arm writes r3; r4 (else arm) is never executed.
+    assert entry.protects_register(3)
+    assert not entry.protects_register(4)
+    assert not entry.protects_register(10)
+
+
+def test_loop_branch_distance_grows_with_remaining_iterations():
+    program, trace, analysis = _setup()
+    policy = analysis.policy("postdoms")
+    profile = profile_spawn_points(trace, policy.points)
+    loop_branch_pc = program.address_of("join") + 4
+    loop_ft = policy.spawn_for(loop_branch_pc)
+    point_profile = profile.of_point(loop_ft)
+    # 'done' appears once at the end, but it is *eventually* reachable
+    # from every loop-branch occurrence, at growing distance: the mean
+    # distance is the average over the remaining iterations.
+    assert point_profile.occurrences == 5
+    assert point_profile.reachable_occurrences == 5
+    # One iteration is 5 instructions; last occurrence is 1 away.
+    assert point_profile.mean_distance == (1 + 6 + 11 + 16 + 21) / 5
+
+    # A tight distance cap keeps only the final-iteration occurrence.
+    capped = profile_spawn_points(trace, policy.points, max_distance=5)
+    capped_profile = capped.of_point(loop_ft)
+    assert capped_profile.reachable_occurrences == 1
+
+
+def test_hint_table_filters_unobserved_points():
+    program, trace, analysis = _setup()
+    policy = analysis.policy("postdoms")
+    profile = profile_spawn_points(trace, policy.points)
+    table = profile.hint_table(policy)
+    # The hammock point is present.
+    assert table.lookup(program.address_of("loop")) is not None
+    entries = table.entries()
+    assert all(entry.occurrence_count >= 1 for entry in entries)
+
+
+def test_max_distance_cap():
+    program, trace, analysis = _setup()
+    policy = analysis.policy("postdoms")
+    profile = profile_spawn_points(trace, policy.points, max_distance=2)
+    hammock = policy.spawn_for(program.address_of("loop"))
+    point_profile = profile.of_point(hammock)
+    # Distance is 3, above the cap of 2.
+    assert point_profile.reachable_occurrences == 0
+    table = profile.hint_table(policy)
+    assert table.lookup(program.address_of("loop")) is None
