@@ -14,8 +14,8 @@ from repro.frontend import GsharePredictor
 from repro.isa import assemble
 from repro.memory import Cache
 from repro.polyflow import PAPER_CONFIG, PolyFlowCore
-from repro.sim import FunctionalSimulator, limit_study, run_program
-from repro.spawn import SpawnAnalysis, profile_spawn_points
+from repro.sim import FunctionalSimulator, limit_study
+from repro.spawn import profile_spawn_points
 from repro.workloads import prepare_workload, workload_source
 
 

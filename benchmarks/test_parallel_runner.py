@@ -1,0 +1,40 @@
+"""Throughput of the parallel experiment runner and its result cache.
+
+Regenerates the Figure 9 simulation grid (12 workloads x 7 machine
+runs) through :class:`ParallelExperimentRunner`: once cold with a
+process-pool fan-out, once warm where every result is served from the
+on-disk cache.  The cold run's summed simulation time divided by its
+wall time is the effective parallel speedup on this host.
+"""
+
+from conftest import BENCHMARK_SCALE
+
+from repro.experiments import figure9, figure_jobs
+from repro.experiments.parallel import ParallelExperimentRunner
+
+
+def test_parallel_fig9_fan_out(benchmark, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+
+    def cold_run():
+        runner = ParallelExperimentRunner(
+            scale=BENCHMARK_SCALE, jobs=4, cache_dir=cache_dir
+        )
+        runner.prefetch(figure_jobs("fig9", runner))
+        return runner
+
+    runner = benchmark.pedantic(cold_run, rounds=1, iterations=1)
+    print()
+    print(runner.summary.render())
+    assert runner.summary.cache_hits == 0
+    assert runner.summary.jobs_run == len(runner.workload_names) * 7
+
+    # Warm pass: the same grid is now 100% cache hits and the figure
+    # renders identically to a freshly simulated one.
+    warm = ParallelExperimentRunner(
+        scale=BENCHMARK_SCALE, jobs=4, cache_dir=cache_dir
+    )
+    ran = warm.prefetch(figure_jobs("fig9", warm))
+    assert ran == 0
+    assert warm.summary.cache_hits == runner.summary.jobs_run
+    assert figure9(warm).render() == figure9(runner).render()

@@ -9,12 +9,16 @@ Run with::
 
     python examples/policy_explorer.py mcf
     python examples/policy_explorer.py twolf --policies loop hammock postdoms
-    python examples/policy_explorer.py vortex --scale 0.25
+    python examples/policy_explorer.py vortex --scale 0.25 --jobs 4
 """
 
 import argparse
 
-from repro.experiments import ExperimentRunner, REC_PRED_SPEC
+from repro.experiments import (
+    REC_PRED_SPEC,
+    SUPERSCALAR_SPEC,
+    ParallelExperimentRunner,
+)
 from repro.workloads import WORKLOAD_NAMES
 
 DEFAULT_POLICIES = ("loop", "loopFT", "procFT", "hammock", "other", "postdoms", REC_PRED_SPEC)
@@ -30,11 +34,21 @@ def main(argv=None):
         action="store_true",
         help="also print the Lam-Wilson-style ILP limit study",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the policy runs (default 1 = serial)",
+    )
     arguments = parser.parse_args(argv)
 
-    runner = ExperimentRunner(scale=arguments.scale)
+    runner = ParallelExperimentRunner(scale=arguments.scale, jobs=arguments.jobs)
     name = arguments.workload
     prepared = runner.workload(name)
+    runner.prefetch(
+        [(name, SUPERSCALAR_SPEC)]
+        + [(name, spec) for spec in arguments.policies]
+    )
     baseline = runner.baseline(name)
 
     print("{}: {} dynamic instructions, {} procedures".format(

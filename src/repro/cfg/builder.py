@@ -20,7 +20,7 @@ from collections import defaultdict
 from repro.cfg.basic_block import BasicBlock
 from repro.cfg.graph import ControlFlowGraph
 from repro.errors import CFGError
-from repro.isa.instructions import INSTRUCTION_BYTES, REGISTER_ALIASES
+from repro.isa.instructions import REGISTER_ALIASES
 
 _RA = REGISTER_ALIASES["ra"]
 

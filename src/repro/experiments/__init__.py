@@ -13,6 +13,7 @@ from repro.experiments.figures import (
     FIGURE9_SPECS,
     FIGURE10_SPECS,
     FIGURE12_SPECS,
+    figure_jobs,
     figure5,
     figure8,
     figure9,
@@ -21,11 +22,26 @@ from repro.experiments.figures import (
     figure12,
     headline_ratios,
 )
-from repro.experiments.runner import REC_PRED_SPEC, ExperimentRunner
+from repro.experiments.parallel import (
+    ParallelExperimentRunner,
+    ResultCache,
+    RunSummary,
+)
+from repro.experiments.runner import (
+    REC_PRED_SPEC,
+    SUPERSCALAR_SPEC,
+    ExperimentRunner,
+    simulate_job,
+)
 
 __all__ = [
     "ExperimentRunner",
+    "ParallelExperimentRunner",
+    "ResultCache",
+    "RunSummary",
+    "simulate_job",
     "REC_PRED_SPEC",
+    "SUPERSCALAR_SPEC",
     "figure5",
     "figure8",
     "figure9",
@@ -33,6 +49,7 @@ __all__ = [
     "figure11",
     "figure12",
     "headline_ratios",
+    "figure_jobs",
     "FIGURE9_SPECS",
     "FIGURE10_SPECS",
     "FIGURE12_SPECS",

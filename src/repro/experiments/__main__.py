@@ -3,8 +3,16 @@
 Usage::
 
     python -m repro.experiments fig5
-    python -m repro.experiments fig9 --scale 0.5
-    python -m repro.experiments all
+    python -m repro.experiments fig9 --scale 0.5 --jobs 4
+    python -m repro.experiments all --jobs 8 --cache-dir .polyflow-cache
+    python -m repro.experiments all --no-cache
+
+Simulations fan out across ``--jobs`` worker processes and their
+results are cached on disk under ``--cache-dir``, so re-generating a
+figure (or re-running CI) only simulates what changed.  Parallel and
+cached runs emit output bit-identical to a cold serial run; a run
+summary (jobs simulated, cache hits, where the time went) is printed
+to stderr.
 """
 
 import argparse
@@ -12,7 +20,7 @@ import sys
 import time
 
 from repro.experiments import figures
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.parallel import DEFAULT_CACHE_DIR, ParallelExperimentRunner
 
 _FIGURES = ("fig5", "fig8", "fig9", "fig10", "fig11", "fig12")
 _ABLATIONS = "ablations"
@@ -36,9 +44,32 @@ def main(argv=None):
         default=1.0,
         help="workload scale factor (smaller = faster, default 1.0)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the simulation fan-out "
+        "(default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="on-disk result cache directory (default {!r})".format(
+            DEFAULT_CACHE_DIR
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
     arguments = parser.parse_args(argv)
 
-    runner = ExperimentRunner(scale=arguments.scale)
+    runner = ParallelExperimentRunner(
+        scale=arguments.scale,
+        jobs=arguments.jobs,
+        cache_dir=None if arguments.no_cache else arguments.cache_dir,
+    )
     started = time.time()
 
     if arguments.figure == _ABLATIONS:
@@ -54,10 +85,17 @@ def main(argv=None):
         ):
             print(sweep(runner).render())
             print()
-        print("[completed in {:.1f}s]".format(time.time() - started), file=sys.stderr)
+        _print_footer(runner, started)
         return 0
 
     requested = _FIGURES if arguments.figure == "all" else (arguments.figure,)
+
+    # One batched prefetch for every requested figure: the parallel
+    # runner schedules the union of their simulation grids at once.
+    jobs = []
+    for figure in requested:
+        jobs.extend(figures.figure_jobs(figure, runner))
+    runner.prefetch(jobs)
 
     for figure in requested:
         if figure == "fig5":
@@ -87,10 +125,15 @@ def main(argv=None):
                 heuristic_ratio, combination_ratio
             )
         )
+    _print_footer(runner, started)
+    return 0
+
+
+def _print_footer(runner, started):
+    print("[{}]".format(runner.summary.render()), file=sys.stderr)
     print(
         "[completed in {:.1f}s]".format(time.time() - started), file=sys.stderr
     )
-    return 0
 
 
 if __name__ == "__main__":

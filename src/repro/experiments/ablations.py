@@ -14,9 +14,8 @@ the cycle-level simulations under modified machine configurations.
 import dataclasses
 
 from repro.experiments.reporting import format_percent, format_table
-from repro.polyflow import PAPER_CONFIG, PolyFlowCore, speedup_percent
-from repro.polyflow.config import superscalar_config
-from repro.spawn.hints import HintTable
+from repro.experiments.runner import SUPERSCALAR_SPEC
+from repro.polyflow import PAPER_CONFIG, speedup_percent
 
 #: Benchmarks used for ablations (a spread of behaviours: loop-
 #: parallel, call/icache-bound, memory/hammock-bound, interpreter).
@@ -47,27 +46,51 @@ class AblationResult:
         return format_table(headers, rows, title=self.title)
 
 
-def _run_with_config(runner, name, config, spec="postdoms"):
-    """PolyFlow stats for one workload under an arbitrary config."""
-    prepared = runner.workload(name)
-    hints = runner.hint_table(name, spec)
-    return PolyFlowCore(prepared.trace, config, hints).run()
+def _sweep_jobs(runner, values, make_config, workloads, matched_baseline, spec="postdoms"):
+    """The (workload, spec, config) grid one sweep simulates."""
+    jobs = []
+    for name in workloads:
+        for value in values:
+            config = make_config(value)
+            jobs.append((name, spec, config))
+            if matched_baseline:
+                jobs.append((name, SUPERSCALAR_SPEC, config))
+        if not matched_baseline:
+            jobs.append((name, SUPERSCALAR_SPEC, runner.config))
+    return jobs
 
 
-def _baseline_with_config(runner, name, config):
-    prepared = runner.workload(name)
-    core = PolyFlowCore(prepared.trace, superscalar_config(config), HintTable())
-    return core.run()
+def _sweep(
+    runner,
+    title,
+    parameter_name,
+    values,
+    make_config,
+    workloads,
+    matched_baseline=False,
+):
+    """Run one parameter sweep through the runner's cached execution.
 
-
-def _sweep(runner, title, parameter_name, values, make_config, workloads):
+    The whole grid is prefetched first, so a parallel runner schedules
+    every (workload, value) simulation across its worker pool before
+    the table is assembled.  ``matched_baseline`` reruns the
+    superscalar baseline under each swept configuration (figures where
+    the parameter affects both machines); otherwise the paper-config
+    baseline is reused.
+    """
+    runner.prefetch(
+        _sweep_jobs(runner, values, make_config, workloads, matched_baseline)
+    )
     speedups = {}
     for name in workloads:
-        baseline = runner.baseline(name)
         speedups[name] = {}
         for value in values:
             config = make_config(value)
-            stats = _run_with_config(runner, name, config)
+            stats = runner.run_with_config(name, "postdoms", config)
+            if matched_baseline:
+                baseline = runner.run_with_config(name, SUPERSCALAR_SPEC, config)
+            else:
+                baseline = runner.baseline(name)
             speedups[name][value] = speedup_percent(stats, baseline)
     return AblationResult(title, parameter_name, values, workloads, speedups)
 
@@ -97,20 +120,18 @@ def rob_size_ablation(
 ):
     """The conclusion's second limitation: ROB size bounds outer-loop
     parallelism.  Both PolyFlow and its baseline get the swept ROB."""
-    speedups = {}
-    for name in workloads:
-        speedups[name] = {}
-        for size in sizes:
-            config = dataclasses.replace(PAPER_CONFIG, rob_entries=size)
-            stats = _run_with_config(runner, name, config)
-            baseline = _baseline_with_config(runner, name, config)
-            speedups[name][size] = speedup_percent(stats, baseline)
-    return AblationResult(
+
+    def make_config(size):
+        return dataclasses.replace(PAPER_CONFIG, rob_entries=size)
+
+    return _sweep(
+        runner,
         "Ablation: reorder buffer size (postdoms policy, matched baseline)",
         "rob",
         sizes,
+        make_config,
         workloads,
-        speedups,
+        matched_baseline=True,
     )
 
 
@@ -138,20 +159,18 @@ def mispredict_penalty_ablation(
     runner, penalties=(4, 8, 16, 32), workloads=DEFAULT_ABLATION_WORKLOADS
 ):
     """Sensitivity of the postdoms speedup to the refill penalty."""
-    speedups = {}
-    for name in workloads:
-        speedups[name] = {}
-        for penalty in penalties:
-            config = dataclasses.replace(PAPER_CONFIG, mispredict_penalty=penalty)
-            stats = _run_with_config(runner, name, config)
-            baseline = _baseline_with_config(runner, name, config)
-            speedups[name][penalty] = speedup_percent(stats, baseline)
-    return AblationResult(
+
+    def make_config(penalty):
+        return dataclasses.replace(PAPER_CONFIG, mispredict_penalty=penalty)
+
+    return _sweep(
+        runner,
         "Ablation: branch mispredict penalty (matched baseline)",
         "penalty",
         penalties,
+        make_config,
         workloads,
-        speedups,
+        matched_baseline=True,
     )
 
 

@@ -8,7 +8,11 @@ series the paper reports.
 
 from repro.experiments import paper_data
 from repro.experiments.reporting import format_percent, format_table
-from repro.experiments.runner import REC_PRED_SPEC, ExperimentRunner
+from repro.experiments.runner import (
+    REC_PRED_SPEC,
+    SUPERSCALAR_SPEC,
+    ExperimentRunner,
+)
 from repro.polyflow.config import figure8_rows
 from repro.spawn import POSTDOMINATOR_CATEGORIES, static_distribution
 from repro.spawn.policies import (
@@ -23,6 +27,33 @@ FIGURE9_SPECS = INDIVIDUAL_POLICY_SPECS + ("postdoms",)
 FIGURE10_SPECS = COMBINATION_POLICY_SPECS + ("postdoms",)
 #: Figure 12 policy order.
 FIGURE12_SPECS = (REC_PRED_SPEC, "postdoms")
+
+#: Policy specs each figure simulates (figures 5 and 8 run nothing).
+FIGURE_SIMULATION_SPECS = {
+    "fig5": (),
+    "fig8": (),
+    "fig9": FIGURE9_SPECS,
+    "fig10": FIGURE10_SPECS,
+    "fig11": EXCLUSION_POLICY_SPECS + ("postdoms",),
+    "fig12": FIGURE12_SPECS,
+}
+
+
+def figure_jobs(figure, runner):
+    """Every (workload, spec) simulation ``figure`` needs.
+
+    Feeding the union of these into
+    :meth:`~repro.experiments.runner.ExperimentRunner.prefetch` lets a
+    parallel runner schedule a whole figure (or several) as one batch.
+    """
+    specs = FIGURE_SIMULATION_SPECS.get(figure, ())
+    if not specs:
+        return []
+    jobs = [(name, SUPERSCALAR_SPEC) for name in runner.workload_names]
+    jobs.extend(
+        (name, spec) for name in runner.workload_names for spec in specs
+    )
+    return jobs
 
 
 class SpeedupResult:
@@ -201,6 +232,7 @@ def figure10(runner=None):
 def figure11(runner=None):
     """Loss from excluding one postdominator category."""
     runner = runner or ExperimentRunner()
+    runner.prefetch(figure_jobs("fig11", runner))
     losses = {}
     for name in runner.workload_names:
         full = runner.speedup(name, "postdoms")

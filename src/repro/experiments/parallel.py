@@ -1,0 +1,310 @@
+"""Parallel experiment execution with an on-disk result cache.
+
+The paper's evaluation sweeps 12 benchmarks across ~10 spawn policies
+plus a superscalar baseline — an embarrassingly parallel grid of
+independent cycle-level simulations.  This module fans that grid out
+across a :class:`concurrent.futures.ProcessPoolExecutor`: each worker
+prepares a workload once (module-level memo in
+:mod:`repro.workloads.suite`), derives the requested policy's hints,
+runs the simulation, and ships the picklable
+:class:`~repro.polyflow.stats.SimStats` back to the parent.
+
+Results are also written to a content-addressed on-disk cache keyed by
+``(workload, spec, scale, machine-config fingerprint, profile
+distance)``, so repeated figure generation and CI smoke runs skip
+simulations that already ran — under *any* runner, serial or parallel,
+because both funnel through the same
+:func:`~repro.experiments.runner.simulate_job`.
+
+Parallel output is bit-identical to serial output: every simulation is
+deterministic given its job key (workloads are built from seeded RNGs),
+and results are merged into the same keyed memo the serial runner
+reads, so table generation never depends on completion order.
+"""
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from repro.experiments.runner import ExperimentRunner, simulate_job
+from repro.polyflow.config import config_fingerprint
+
+#: Bump to invalidate every existing cache entry (e.g. when the
+#: simulator's timing model changes in a way the config cannot see).
+CACHE_FORMAT_VERSION = 1
+
+#: Default cache directory used by the CLI (gitignored).
+DEFAULT_CACHE_DIR = ".polyflow-cache"
+
+
+def job_digest(name, spec, scale, config, profile_distance):
+    """Content address of one simulation job.
+
+    Hashes every input that can change the resulting stats: workload
+    name, policy spec, workload scale, the full machine configuration
+    (via :func:`config_fingerprint`), the profiling distance, and the
+    cache format version.
+    """
+    payload = json.dumps(
+        {
+            "version": CACHE_FORMAT_VERSION,
+            "workload": name,
+            "spec": spec,
+            "scale": repr(scale),
+            "config": config_fingerprint(config),
+            "profile_distance": profile_distance,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed on-disk store of pickled simulation stats.
+
+    Entries are sharded by the first two digest characters.  Writes go
+    through a temporary file plus :func:`os.replace`, so concurrent
+    runs sharing a cache directory never observe torn entries.
+    """
+
+    def __init__(self, root):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path(self, digest):
+        return os.path.join(self.root, digest[:2], digest + ".pkl")
+
+    def load(self, digest):
+        """The cached stats for ``digest``, or ``None`` on a miss.
+
+        Any unreadable entry — missing, truncated, or corrupt in a way
+        that makes unpickling raise an arbitrary exception type — is a
+        miss; the caller re-simulates and overwrites it.
+        """
+        try:
+            with open(self.path(digest), "rb") as handle:
+                entry = pickle.load(handle)
+            stats = entry["stats"]
+        except Exception:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def store(self, digest, stats, meta):
+        """Atomically persist ``stats`` (with a metadata header) under
+        ``digest``."""
+        path = self.path(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        handle, temp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump({"meta": meta, "stats": stats}, stream)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def __len__(self):
+        if not os.path.isdir(self.root):
+            return 0
+        count = 0
+        for shard in os.listdir(self.root):
+            shard_path = os.path.join(self.root, shard)
+            if os.path.isdir(shard_path):
+                count += sum(
+                    1 for entry in os.listdir(shard_path) if entry.endswith(".pkl")
+                )
+        return count
+
+
+class RunSummary:
+    """Where the time went: jobs simulated, cache hits, wall clock."""
+
+    def __init__(self):
+        self.jobs_run = 0
+        self.cache_hits = 0
+        #: ``[(workload, spec, seconds), ...]`` for every simulation run.
+        self.job_timings = []
+        self.wall_seconds = 0.0
+
+    def record_job(self, name, spec, seconds):
+        self.jobs_run += 1
+        self.job_timings.append((name, spec, seconds))
+
+    def record_hit(self):
+        self.cache_hits += 1
+
+    @property
+    def total_sim_seconds(self):
+        """Summed per-job simulation time (exceeds wall time when
+        jobs overlap across workers)."""
+        return sum(seconds for _, _, seconds in self.job_timings)
+
+    def slowest(self, count=5):
+        """The ``count`` slowest jobs, slowest first."""
+        return sorted(self.job_timings, key=lambda item: -item[2])[:count]
+
+    def render(self):
+        lines = [
+            "run summary: {} simulated, {} cache hits, "
+            "{:.1f}s total sim time, {:.1f}s wall".format(
+                self.jobs_run,
+                self.cache_hits,
+                self.total_sim_seconds,
+                self.wall_seconds,
+            )
+        ]
+        for name, spec, seconds in self.slowest():
+            lines.append("  {:>6.1f}s  {} / {}".format(seconds, name, spec))
+        return "\n".join(lines)
+
+
+def _execute_job(name, spec, scale, config, profile_distance):
+    """Worker-side entry point: run one simulation, report its time."""
+    started = time.perf_counter()
+    stats = simulate_job(name, spec, scale, config, profile_distance)
+    return stats, time.perf_counter() - started
+
+
+class ParallelExperimentRunner(ExperimentRunner):
+    """An :class:`ExperimentRunner` with process fan-out and a disk cache.
+
+    With ``jobs=1`` and no cache directory it behaves exactly like the
+    serial runner (no executor is ever created).  ``prefetch`` is where
+    the parallelism lives; the individual accessors (``baseline``,
+    ``run_policy`` …) stay serial but consult the disk cache.
+    """
+
+    def __init__(
+        self,
+        scale=1.0,
+        config=None,
+        workload_names=None,
+        jobs=1,
+        cache_dir=None,
+    ):
+        keyword_arguments = {}
+        if config is not None:
+            keyword_arguments["config"] = config
+        if workload_names is not None:
+            keyword_arguments["workload_names"] = workload_names
+        super().__init__(scale=scale, **keyword_arguments)
+        self.jobs = max(1, int(jobs))
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.summary = RunSummary()
+
+    # -- cache plumbing -----------------------------------------------------------
+
+    def _job_digest(self, name, spec, config, profile_distance):
+        return job_digest(name, spec, self.scale, config, profile_distance)
+
+    def _job_label(self, spec, config):
+        """Spec label for the run summary; swept configurations (the
+        ablations) are disambiguated by their fingerprint."""
+        fingerprint = config_fingerprint(config)
+        if fingerprint == config_fingerprint(self.config):
+            return spec
+        return "{} @{}".format(spec, fingerprint[:6])
+
+    def _job_meta(self, name, spec, config, profile_distance):
+        return {
+            "workload": name,
+            "spec": spec,
+            "scale": self.scale,
+            "config_fingerprint": config_fingerprint(config),
+            "profile_distance": profile_distance,
+            "version": CACHE_FORMAT_VERSION,
+        }
+
+    def _load_cached(self, name, spec, config, profile_distance):
+        if self.cache is None:
+            return None
+        digest = self._job_digest(name, spec, config, profile_distance)
+        stats = self.cache.load(digest)
+        if stats is not None:
+            self.summary.record_hit()
+        return stats
+
+    def _store_cached(self, name, spec, config, profile_distance, stats):
+        if self.cache is None:
+            return
+        digest = self._job_digest(name, spec, config, profile_distance)
+        self.cache.store(
+            digest, stats, self._job_meta(name, spec, config, profile_distance)
+        )
+
+    def _simulate(self, name, spec, config, profile_distance):
+        stats = self._load_cached(name, spec, config, profile_distance)
+        if stats is not None:
+            return stats
+        started = time.perf_counter()
+        stats = simulate_job(name, spec, self.scale, config, profile_distance)
+        self.summary.record_job(
+            name, self._job_label(spec, config), time.perf_counter() - started
+        )
+        self._store_cached(name, spec, config, profile_distance, stats)
+        return stats
+
+    # -- fan-out ------------------------------------------------------------------
+
+    def prefetch(self, jobs):
+        """Materialize every job's stats, fanning out across workers.
+
+        Disk-cached results are loaded in the parent; only genuinely
+        missing simulations are shipped to the pool.  Results land in
+        the same keyed memo the serial path reads, so downstream table
+        generation is identical regardless of completion order.
+        Returns the number of simulations actually run.
+        """
+        started = time.perf_counter()
+        pending = []
+        for name, spec, config, profile_distance in self.normalize_jobs(jobs):
+            stats = self._load_cached(name, spec, config, profile_distance)
+            if stats is not None:
+                key = self._result_key(name, spec, config, profile_distance)
+                self._results[key] = stats
+            else:
+                pending.append((name, spec, config, profile_distance))
+
+        if not pending:
+            self.summary.wall_seconds += time.perf_counter() - started
+            return 0
+
+        if self.jobs == 1 or len(pending) == 1:
+            for name, spec, config, profile_distance in pending:
+                self.run_with_config(name, spec, config, profile_distance)
+        else:
+            self._fan_out(pending)
+        self.summary.wall_seconds += time.perf_counter() - started
+        return len(pending)
+
+    def _fan_out(self, pending):
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            futures = {
+                executor.submit(
+                    _execute_job, name, spec, self.scale, config, profile_distance
+                ): (name, spec, config, profile_distance)
+                for name, spec, config, profile_distance in pending
+            }
+            for future in as_completed(futures):
+                name, spec, config, profile_distance = futures[future]
+                stats, seconds = future.result()
+                key = self._result_key(name, spec, config, profile_distance)
+                self._results[key] = stats
+                self.summary.record_job(name, self._job_label(spec, config), seconds)
+                self._store_cached(name, spec, config, profile_distance, stats)

@@ -4,9 +4,17 @@ One :class:`ExperimentRunner` prepares each workload once (program,
 trace, CFGs, spawn analysis, profile) and then materializes any spawn
 policy on demand.  The superscalar baseline and every policy run are
 cached, so the per-figure generators share work.
+
+All simulations funnel through the module-level :func:`simulate_job`,
+which depends only on picklable inputs (workload name, policy spec,
+scale, :class:`~repro.polyflow.config.MachineConfig`).  That makes the
+same code path usable from worker processes — see
+:mod:`repro.experiments.parallel` for the ``ProcessPoolExecutor``
+fan-out and the on-disk result cache layered on top.
 """
 
 from repro.polyflow import PAPER_CONFIG, PolyFlowCore, superscalar_config
+from repro.polyflow.config import config_fingerprint
 from repro.polyflow.stats import speedup_percent
 from repro.spawn import profile_spawn_points
 from repro.spawn.hints import HintTable
@@ -15,34 +23,105 @@ from repro.workloads import WORKLOAD_NAMES, prepare_workload
 #: Policy spec used for the dynamic reconvergence predictor (Figure 12).
 REC_PRED_SPEC = "rec_pred"
 
+#: Pseudo-spec naming the superscalar baseline run.  ``simulate_job``
+#: restricts the machine itself (``superscalar_config``), so callers
+#: always pass the *PolyFlow* configuration alongside this spec.
+SUPERSCALAR_SPEC = "superscalar"
+
+#: Process-local memo of spawn profiles, keyed by
+#: ``(workload name, scale, max profiled spawn distance)``.  Worker
+#: processes run several policy specs of the same workload; the profile
+#: over the union of spawn points is shared among all of them.
+_PROFILE_CACHE = {}
+
+
+def spawn_profile(name, scale, max_spawn_distance):
+    """The spawn profile of one workload (process-local memo).
+
+    The profile covers the union of postdominator and loop spawn
+    points, so every policy's hint table can be derived from it.
+    """
+    key = (name, scale, max_spawn_distance)
+    if key not in _PROFILE_CACHE:
+        prepared = prepare_workload(name, scale)
+        analysis = prepared.spawn_analysis
+        points = list(analysis.postdominator_points) + list(analysis.loop_points)
+        _PROFILE_CACHE[key] = profile_spawn_points(
+            prepared.trace, points, max_spawn_distance
+        )
+    return _PROFILE_CACHE[key]
+
+
+def clear_profile_cache():
+    """Drop all memoized spawn profiles (mainly for tests)."""
+    _PROFILE_CACHE.clear()
+
+
+def simulate_job(name, spec, scale, config, profile_distance=None):
+    """Run one (workload, policy) cycle-level simulation.
+
+    This is the single entry point for every simulation the experiment
+    harness performs; serial and parallel execution differ only in
+    where it runs.  All arguments and the returned
+    :class:`~repro.polyflow.stats.SimStats` are picklable.
+
+    Args:
+        name: Workload name (see :data:`~repro.workloads.WORKLOAD_NAMES`).
+        spec: Policy spec, :data:`REC_PRED_SPEC`, or
+            :data:`SUPERSCALAR_SPEC` for the baseline.
+        scale: Workload scale factor.
+        config: The PolyFlow :class:`MachineConfig`
+            (:func:`superscalar_config` is applied here for the
+            baseline spec).
+        profile_distance: Maximum spawn distance used when *profiling*
+            spawn points (defaults to ``config.max_spawn_distance``).
+            Ablations sweep the machine's distance cap while keeping
+            the profile fixed; this keeps those runs reproducible.
+    """
+    prepared = prepare_workload(name, scale)
+    if spec == SUPERSCALAR_SPEC:
+        core = PolyFlowCore(prepared.trace, superscalar_config(config), HintTable())
+    elif spec == REC_PRED_SPEC:
+        from repro.reconvergence import build_reconvergence_spawner
+
+        core = PolyFlowCore(prepared.trace, config, HintTable())
+        core.spawn_unit = build_reconvergence_spawner(prepared, config)
+    else:
+        if profile_distance is None:
+            profile_distance = config.max_spawn_distance
+        profile = spawn_profile(name, scale, profile_distance)
+        policy = prepared.spawn_analysis.policy(spec)
+        core = PolyFlowCore(prepared.trace, config, profile.hint_table(policy))
+    return core.run()
+
 
 class ExperimentRunner:
-    """Caches workload preparation and simulation runs."""
+    """Caches workload preparation and simulation runs.
+
+    Simulation results live in an in-memory memo keyed by
+    ``(workload, spec, config fingerprint, profile distance)``; the
+    same key shape addresses the on-disk cache of
+    :class:`~repro.experiments.parallel.ParallelExperimentRunner`.
+    """
 
     def __init__(self, scale=1.0, config=PAPER_CONFIG, workload_names=WORKLOAD_NAMES):
         self.scale = scale
         self.config = config
         self.workload_names = tuple(workload_names)
-        self._profiles = {}
-        self._baselines = {}
-        self._policy_stats = {}
+        self._workloads = {}
+        self._results = {}
 
     # -- preparation -----------------------------------------------------------
 
     def workload(self, name):
-        """The :class:`~repro.workloads.suite.PreparedWorkload`."""
-        return prepare_workload(name, self.scale)
+        """The :class:`~repro.workloads.suite.PreparedWorkload` (memoized)."""
+        if name not in self._workloads:
+            self._workloads[name] = prepare_workload(name, self.scale)
+        return self._workloads[name]
 
     def profile(self, name):
         """The spawn profile over the union of all spawn points."""
-        if name not in self._profiles:
-            prepared = self.workload(name)
-            analysis = prepared.spawn_analysis
-            points = list(analysis.postdominator_points) + list(analysis.loop_points)
-            self._profiles[name] = profile_spawn_points(
-                prepared.trace, points, self.config.max_spawn_distance
-            )
-        return self._profiles[name]
+        return spawn_profile(name, self.scale, self.config.max_spawn_distance)
 
     def hint_table(self, name, spec):
         """The hint table for one (workload, policy spec) pair."""
@@ -52,33 +131,36 @@ class ExperimentRunner:
 
     # -- simulation ---------------------------------------------------------------
 
+    def _result_key(self, name, spec, config, profile_distance):
+        return (name, spec, config_fingerprint(config), profile_distance)
+
+    def _simulate(self, name, spec, config, profile_distance):
+        """Run one simulation in-process (overridden by the parallel
+        runner to consult the on-disk cache)."""
+        return simulate_job(name, spec, self.scale, config, profile_distance)
+
+    def run_with_config(self, name, spec, config, profile_distance=None):
+        """Stats for ``name`` under ``spec`` and an arbitrary machine
+        configuration (cached).
+
+        ``profile_distance`` defaults to the *runner's* configured
+        ``max_spawn_distance`` so that configuration sweeps reuse one
+        profile, matching the serial harness's historical behaviour.
+        """
+        if profile_distance is None:
+            profile_distance = self.config.max_spawn_distance
+        key = self._result_key(name, spec, config, profile_distance)
+        if key not in self._results:
+            self._results[key] = self._simulate(name, spec, config, profile_distance)
+        return self._results[key]
+
     def baseline(self, name):
         """Superscalar stats for ``name`` (cached)."""
-        if name not in self._baselines:
-            prepared = self.workload(name)
-            core = PolyFlowCore(
-                prepared.trace, superscalar_config(self.config), HintTable()
-            )
-            self._baselines[name] = core.run()
-        return self._baselines[name]
+        return self.run_with_config(name, SUPERSCALAR_SPEC, self.config)
 
     def run_policy(self, name, spec):
         """PolyFlow stats for ``name`` under policy ``spec`` (cached)."""
-        key = (name, spec)
-        if key not in self._policy_stats:
-            prepared = self.workload(name)
-            if spec == REC_PRED_SPEC:
-                from repro.reconvergence import build_reconvergence_spawner
-
-                core = PolyFlowCore(prepared.trace, self.config, HintTable())
-                core.spawn_unit = build_reconvergence_spawner(
-                    prepared, self.config
-                )
-            else:
-                hints = self.hint_table(name, spec)
-                core = PolyFlowCore(prepared.trace, self.config, hints)
-            self._policy_stats[key] = core.run()
-        return self._policy_stats[key]
+        return self.run_with_config(name, spec, self.config)
 
     def speedup(self, name, spec):
         """Speedup (%) of policy ``spec`` over the superscalar baseline."""
@@ -86,6 +168,10 @@ class ExperimentRunner:
 
     def speedups_for_specs(self, specs):
         """Mapping ``{workload: {spec: speedup%}}`` plus an Average row."""
+        self.prefetch(
+            [(name, spec) for name in self.workload_names for spec in specs]
+            + [(name, SUPERSCALAR_SPEC) for name in self.workload_names]
+        )
         table = {}
         for name in self.workload_names:
             table[name] = {spec: self.speedup(name, spec) for spec in specs}
@@ -95,3 +181,40 @@ class ExperimentRunner:
             for spec in specs
         }
         return table
+
+    # -- batched execution --------------------------------------------------------
+
+    def normalize_jobs(self, jobs):
+        """Deduplicated, deterministically ordered job list.
+
+        Accepts ``(name, spec)`` pairs (run under the runner's config)
+        or ``(name, spec, config)`` triples, and returns
+        ``(name, spec, config, profile_distance)`` tuples sorted by
+        workload then spec, with already-memoized jobs removed.
+        """
+        normalized = {}
+        for job in jobs:
+            if len(job) == 2:
+                name, spec = job
+                config = self.config
+            else:
+                name, spec, config = job
+            profile_distance = self.config.max_spawn_distance
+            key = self._result_key(name, spec, config, profile_distance)
+            if key in self._results or key in normalized:
+                continue
+            normalized[key] = (name, spec, config, profile_distance)
+        return sorted(normalized.values(), key=lambda job: (job[0], job[1]))
+
+    def prefetch(self, jobs):
+        """Ensure every job's stats are memoized (serially, in order).
+
+        The parallel runner overrides this with a process-pool fan-out;
+        the serial implementation exists so call sites never need to
+        care which runner they hold.  Returns the number of
+        simulations actually run.
+        """
+        pending = self.normalize_jobs(jobs)
+        for name, spec, config, profile_distance in pending:
+            self.run_with_config(name, spec, config, profile_distance)
+        return len(pending)

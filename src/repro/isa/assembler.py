@@ -26,12 +26,9 @@ import re
 
 from repro.errors import AssemblyError
 from repro.isa.instructions import (
-    ALU_RRI_OPCODES,
-    ALU_RRR_OPCODES,
     INSTRUCTION_BYTES,
     NUM_REGISTERS,
     REGISTER_ALIASES,
-    TWO_SOURCE_BRANCH_OPCODES,
     WORD_BYTES,
     Instruction,
     Opcode,

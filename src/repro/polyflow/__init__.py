@@ -3,6 +3,7 @@
 from repro.polyflow.config import (
     PAPER_CONFIG,
     MachineConfig,
+    config_fingerprint,
     figure8_rows,
     superscalar_config,
 )
@@ -17,6 +18,7 @@ __all__ = [
     "MachineConfig",
     "PAPER_CONFIG",
     "superscalar_config",
+    "config_fingerprint",
     "figure8_rows",
     "PolyFlowCore",
     "simulate",

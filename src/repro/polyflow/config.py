@@ -1,6 +1,8 @@
 """Machine configuration (the paper's Figure 8 pipeline parameters)."""
 
 import dataclasses
+import hashlib
+import json
 
 from repro.errors import ConfigurationError
 
@@ -83,6 +85,20 @@ class MachineConfig:
 
 #: PolyFlow as evaluated in the paper (Figure 8).
 PAPER_CONFIG = MachineConfig()
+
+
+def config_fingerprint(config):
+    """A stable hex digest of every field of a :class:`MachineConfig`.
+
+    Field names are included and sorted, so the fingerprint survives
+    field reordering but changes whenever any parameter (or a field's
+    name) changes.  Used to key simulation results — both the in-memory
+    memo and the on-disk cache in :mod:`repro.experiments.parallel` —
+    so stale results can never be served for a different machine.
+    """
+    fields = dataclasses.asdict(config)
+    payload = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 def superscalar_config(base=PAPER_CONFIG):

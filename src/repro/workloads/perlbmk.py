@@ -17,7 +17,6 @@ _HANDLER_COUNT = 12
 
 def _emit_handler(builder, index):
     builder.label("op_{}".format(index))
-    rng = builder.random
     # A few instructions of handler work touching the VM state.
     builder.emit("addi r3, r3, {}".format(index + 1))
     builder.emit("xor  r4, r4, r3")

@@ -34,7 +34,6 @@ def build(scale=1.0):
     term_base = DATA_BASE
     net_base = term_base + term_count * _TERM_NODE_BYTES
     net_lengths = [rng.choice((1, 2, 3, 3, 4, 5)) for _ in range(term_count)]
-    total_nets = sum(net_lengths)
 
     term_words = []
     net_cursor = net_base

@@ -5,8 +5,6 @@ attributes to its SPEC counterpart (DESIGN.md section 5); these tests
 pin that structure so tuning changes cannot silently erase it.
 """
 
-import pytest
-
 from repro.spawn import SpawnCategory, static_distribution
 from repro.workloads import prepare_workload
 
@@ -92,7 +90,6 @@ def test_mcf_pointer_chase_is_serial():
     # through a short chain: check a load whose register producer chain
     # reaches another instance of itself.
     chase_pcs = set()
-    last_writer_pc = {}
     for record in prepared.trace:
         inst = record.inst
         if inst.is_load and inst.rd is not None and inst.rd == 9:
