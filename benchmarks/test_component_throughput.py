@@ -57,6 +57,50 @@ def test_cycle_simulator_throughput(benchmark, gzip_workload):
     print("\ncycle-level simulation: {:,.0f} instructions/second".format(rate))
 
 
+def test_cycle_simulator_with_no_sink_bus(benchmark, gzip_workload):
+    """The guarded event dispatch must be free when nothing listens.
+
+    Compare against ``test_cycle_simulator_throughput`` (which uses the
+    core's internally created bus): the acceptance bar for the event
+    bus is < 5% overhead on this pair.
+    """
+    from repro.obs import EventBus
+
+    trace = gzip_workload.trace
+    analysis = gzip_workload.spawn_analysis
+    policy = analysis.policy("postdoms")
+    hints = profile_spawn_points(trace, policy.points).hint_table(policy)
+
+    def run():
+        return PolyFlowCore(trace, PAPER_CONFIG, hints, bus=EventBus()).run()
+
+    stats = benchmark(run)
+    assert stats.retired_instructions == len(trace)
+    rate = len(trace) / benchmark.stats.stats.mean
+    print("\nno-sink event bus: {:,.0f} instructions/second".format(rate))
+
+
+def test_cycle_simulator_with_verbose_sink(benchmark, gzip_workload):
+    """Reference cost of full per-instruction tracing (not a gate —
+    verbose runs are opt-in and pay for what they observe)."""
+    from repro.obs import EventBus, MetricsAggregator
+
+    trace = gzip_workload.trace
+    analysis = gzip_workload.spawn_analysis
+    policy = analysis.policy("postdoms")
+    hints = profile_spawn_points(trace, policy.points).hint_table(policy)
+
+    def run():
+        bus = EventBus()
+        bus.attach(MetricsAggregator())
+        return PolyFlowCore(trace, PAPER_CONFIG, hints, bus=bus).run()
+
+    stats = benchmark(run)
+    assert stats.retired_instructions == len(trace)
+    rate = len(trace) / benchmark.stats.stats.mean
+    print("\nverbose-sink event bus: {:,.0f} instructions/second".format(rate))
+
+
 def test_postdominator_analysis_throughput(benchmark):
     program = assemble(workload_source("gcc", scale=0.25))
     from repro.cfg import build_program_cfgs

@@ -31,6 +31,7 @@ from repro.experiments.runner import (
     REC_PRED_SPEC,
     SUPERSCALAR_SPEC,
     ExperimentRunner,
+    build_core,
     simulate_job,
 )
 
@@ -39,6 +40,7 @@ __all__ = [
     "ParallelExperimentRunner",
     "ResultCache",
     "RunSummary",
+    "build_core",
     "simulate_job",
     "REC_PRED_SPEC",
     "SUPERSCALAR_SPEC",

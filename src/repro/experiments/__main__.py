@@ -6,6 +6,8 @@ Usage::
     python -m repro.experiments fig9 --scale 0.5 --jobs 4
     python -m repro.experiments all --jobs 8 --cache-dir .polyflow-cache
     python -m repro.experiments all --no-cache
+    python -m repro.experiments trace --workload gzip \\
+        --policy control-equivalent --trace-dir /tmp/traces
 
 Simulations fan out across ``--jobs`` worker processes and their
 results are cached on disk under ``--cache-dir``, so re-generating a
@@ -13,6 +15,14 @@ figure (or re-running CI) only simulates what changed.  Parallel and
 cached runs emit output bit-identical to a cold serial run; a run
 summary (jobs simulated, cache hits, where the time went) is printed
 to stderr.
+
+``trace`` runs one (workload, policy) simulation with full
+observability: a JSONL event trace, a Chrome ``trace_event`` file
+loadable in Perfetto / chrome://tracing, and a per-spawn-point
+attribution table.  On figure runs, ``--trace-dir`` writes one compact
+lifecycle trace per simulation and ``--emit-metrics`` prints per-policy
+attribution tables to stderr — figure output on stdout stays
+bit-identical either way.
 """
 
 import argparse
@@ -24,6 +34,7 @@ from repro.experiments.parallel import DEFAULT_CACHE_DIR, ParallelExperimentRunn
 
 _FIGURES = ("fig5", "fig8", "fig9", "fig10", "fig11", "fig12")
 _ABLATIONS = "ablations"
+_TRACE = "trace"
 
 
 def main(argv=None):
@@ -34,15 +45,38 @@ def main(argv=None):
     )
     parser.add_argument(
         "figure",
-        choices=_FIGURES + (_ABLATIONS, "all"),
+        choices=_FIGURES + (_ABLATIONS, _TRACE, "all"),
         help="which figure to regenerate ('ablations' runs the "
-        "design-choice sweeps)",
+        "design-choice sweeps; 'trace' runs one fully-observed "
+        "simulation, see --workload/--policy)",
     )
     parser.add_argument(
         "--scale",
         type=float,
         default=1.0,
         help="workload scale factor (smaller = faster, default 1.0)",
+    )
+    parser.add_argument(
+        "--workload",
+        help="(trace) workload to simulate",
+    )
+    parser.add_argument(
+        "--policy",
+        default="control-equivalent",
+        help="(trace) policy spec; aliases 'control-equivalent' and "
+        "'best-heuristic' are accepted (default control-equivalent)",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        help="directory for event traces: the trace command writes its "
+        "full JSONL + Chrome trace there; figure runs write one "
+        "compact lifecycle JSONL per simulation",
+    )
+    parser.add_argument(
+        "--emit-metrics",
+        action="store_true",
+        help="collect per-spawn-point metrics on every simulation and "
+        "print per-policy attribution tables to stderr",
     )
     parser.add_argument(
         "--jobs",
@@ -65,10 +99,19 @@ def main(argv=None):
     )
     arguments = parser.parse_args(argv)
 
+    if arguments.figure == _TRACE:
+        if not arguments.workload:
+            parser.error("trace requires --workload")
+        if not arguments.trace_dir:
+            parser.error("trace requires --trace-dir")
+        return _run_trace(arguments)
+
     runner = ParallelExperimentRunner(
         scale=arguments.scale,
         jobs=arguments.jobs,
         cache_dir=None if arguments.no_cache else arguments.cache_dir,
+        emit_metrics=arguments.emit_metrics,
+        trace_dir=arguments.trace_dir,
     )
     started = time.time()
 
@@ -129,7 +172,69 @@ def main(argv=None):
     return 0
 
 
+def _run_trace(arguments):
+    """Run one fully-observed simulation (the ``trace`` command)."""
+    import os
+
+    from repro.experiments.reporting import format_spawn_point_attribution
+    from repro.experiments.runner import build_core
+    from repro.obs import (
+        ChromeTraceExporter,
+        EventBus,
+        JsonlTraceWriter,
+        MetricsAggregator,
+    )
+    from repro.polyflow import PAPER_CONFIG
+    from repro.spawn import canonical_spec
+
+    name = arguments.workload
+    spec = canonical_spec(arguments.policy)
+    os.makedirs(arguments.trace_dir, exist_ok=True)
+    stem = "{}.{}".format(name, spec.replace("/", "_"))
+    events_path = os.path.join(arguments.trace_dir, stem + ".events.jsonl")
+    chrome_path = os.path.join(arguments.trace_dir, stem + ".chrome.json")
+
+    bus = EventBus()
+    writer = bus.attach(JsonlTraceWriter(events_path))
+    chrome = bus.attach(ChromeTraceExporter(chrome_path))
+    metrics = bus.attach(MetricsAggregator())
+    started = time.time()
+    core = build_core(name, spec, arguments.scale, PAPER_CONFIG, bus=bus)
+    stats = core.run()
+    writer.close()
+    chrome.close()
+
+    print("workload {} / policy {} at scale {}".format(name, spec, arguments.scale))
+    print("  {}".format(stats))
+    print("  events: {} ({} events)".format(events_path, writer.events_written))
+    print("  chrome trace: {} (open in chrome://tracing or Perfetto)".format(
+        chrome_path
+    ))
+    print()
+    print(
+        format_spawn_point_attribution(
+            metrics.as_dict(),
+            title="spawn-point attribution: {} / {}".format(name, spec),
+        )
+    )
+    print(
+        "[traced in {:.1f}s]".format(time.time() - started), file=sys.stderr
+    )
+    return 0
+
+
 def _print_footer(runner, started):
+    if runner.emit_metrics:
+        from repro.experiments.reporting import format_policy_attribution
+
+        merged = runner.summary.merged_metrics()
+        if merged:
+            print(
+                format_policy_attribution(
+                    merged, title="per-policy attribution (all simulated jobs)"
+                ),
+                file=sys.stderr,
+            )
     print("[{}]".format(runner.summary.render()), file=sys.stderr)
     print(
         "[completed in {:.1f}s]".format(time.time() - started), file=sys.stderr

@@ -30,12 +30,14 @@ import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 
-from repro.experiments.runner import ExperimentRunner, simulate_job
+from repro.experiments.runner import ExperimentRunner, build_core, simulate_job
 from repro.polyflow.config import config_fingerprint
+from repro.spawn import canonical_spec
 
 #: Bump to invalidate every existing cache entry (e.g. when the
 #: simulator's timing model changes in a way the config cannot see).
-CACHE_FORMAT_VERSION = 1
+#: v2: entries grew an optional per-spawn-point metrics snapshot.
+CACHE_FORMAT_VERSION = 2
 
 #: Default cache directory used by the CLI (gitignored).
 DEFAULT_CACHE_DIR = ".polyflow-cache"
@@ -53,7 +55,7 @@ def job_digest(name, spec, scale, config, profile_distance):
         {
             "version": CACHE_FORMAT_VERSION,
             "workload": name,
-            "spec": spec,
+            "spec": canonical_spec(spec),
             "scale": repr(scale),
             "config": config_fingerprint(config),
             "profile_distance": profile_distance,
@@ -82,8 +84,10 @@ class ResultCache:
         return os.path.join(self.root, digest[:2], digest + ".pkl")
 
     def load(self, digest):
-        """The cached stats for ``digest``, or ``None`` on a miss.
+        """The cached ``(stats, metrics)`` for ``digest``, or ``None``.
 
+        ``metrics`` is the per-spawn-point aggregator snapshot if the
+        entry was produced by a metrics-emitting run, else ``None``.
         Any unreadable entry — missing, truncated, or corrupt in a way
         that makes unpickling raise an arbitrary exception type — is a
         miss; the caller re-simulates and overwrites it.
@@ -92,15 +96,16 @@ class ResultCache:
             with open(self.path(digest), "rb") as handle:
                 entry = pickle.load(handle)
             stats = entry["stats"]
+            metrics = entry.get("metrics")
         except Exception:
             self.misses += 1
             return None
         self.hits += 1
-        return stats
+        return stats, metrics
 
-    def store(self, digest, stats, meta):
-        """Atomically persist ``stats`` (with a metadata header) under
-        ``digest``."""
+    def store(self, digest, stats, meta, metrics=None):
+        """Atomically persist ``stats`` (with a metadata header and an
+        optional metrics snapshot) under ``digest``."""
         path = self.path(digest)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         handle, temp_path = tempfile.mkstemp(
@@ -108,7 +113,9 @@ class ResultCache:
         )
         try:
             with os.fdopen(handle, "wb") as stream:
-                pickle.dump({"meta": meta, "stats": stats}, stream)
+                pickle.dump(
+                    {"meta": meta, "stats": stats, "metrics": metrics}, stream
+                )
             os.replace(temp_path, path)
         except BaseException:
             try:
@@ -132,7 +139,13 @@ class ResultCache:
 
 
 class RunSummary:
-    """Where the time went: jobs simulated, cache hits, wall clock."""
+    """Where the time went: jobs simulated, cache hits, wall clock.
+
+    When metrics emission is enabled the per-job aggregator snapshots
+    shipped back from the workers are collected here too, so one
+    summary object carries everything a run produced besides the
+    stats themselves.
+    """
 
     def __init__(self):
         self.jobs_run = 0
@@ -140,6 +153,8 @@ class RunSummary:
         #: ``[(workload, spec, seconds), ...]`` for every simulation run.
         self.job_timings = []
         self.wall_seconds = 0.0
+        #: ``{spec: [aggregator snapshot, ...]}`` from metrics-emitting runs.
+        self.metrics_snapshots = {}
 
     def record_job(self, name, spec, seconds):
         self.jobs_run += 1
@@ -147,6 +162,19 @@ class RunSummary:
 
     def record_hit(self):
         self.cache_hits += 1
+
+    def record_metrics(self, spec, snapshot):
+        """Collect one worker's aggregator snapshot under its policy spec."""
+        self.metrics_snapshots.setdefault(spec, []).append(snapshot)
+
+    def merged_metrics(self):
+        """Per-policy merged attribution metrics (``{spec: snapshot}``)."""
+        from repro.obs import merge_metrics
+
+        return {
+            spec: merge_metrics(snapshots)
+            for spec, snapshots in sorted(self.metrics_snapshots.items())
+        }
 
     @property
     def total_sim_seconds(self):
@@ -173,11 +201,56 @@ class RunSummary:
         return "\n".join(lines)
 
 
-def _execute_job(name, spec, scale, config, profile_distance):
-    """Worker-side entry point: run one simulation, report its time."""
+def trace_path(trace_dir, name, spec, digest):
+    """The lifecycle-trace filename for one job under ``--trace-dir``.
+
+    The digest prefix disambiguates identical (workload, spec) pairs
+    run under different machine configurations (the ablation sweeps).
+    """
+    filename = "{}.{}.{}.events.jsonl".format(
+        name, canonical_spec(spec).replace("/", "_"), digest[:8]
+    )
+    return os.path.join(trace_dir, filename)
+
+
+def _execute_job(
+    name, spec, scale, config, profile_distance, emit_metrics=False, trace_file=None
+):
+    """Worker-side entry point: run one simulation, report its time.
+
+    With ``emit_metrics`` the run carries a verbose
+    :class:`~repro.obs.MetricsAggregator` and its picklable snapshot
+    is shipped back alongside the stats.  With ``trace_file`` a
+    compact lifecycle-events JSONL trace is written there.  Stats are
+    identical either way — the bus sinks only observe.
+    """
     started = time.perf_counter()
-    stats = simulate_job(name, spec, scale, config, profile_distance)
-    return stats, time.perf_counter() - started
+    if not emit_metrics and trace_file is None:
+        stats = simulate_job(name, spec, scale, config, profile_distance)
+        return stats, None, time.perf_counter() - started
+
+    from repro.obs import (
+        LIFECYCLE_KINDS,
+        EventBus,
+        JsonlTraceWriter,
+        MetricsAggregator,
+    )
+
+    bus = EventBus()
+    aggregator = bus.attach(MetricsAggregator()) if emit_metrics else None
+    writer = None
+    if trace_file is not None:
+        os.makedirs(os.path.dirname(trace_file) or ".", exist_ok=True)
+        # Lifecycle kinds only: figure-scale runs stay compact, and the
+        # filter needs no verbose (per-instruction) emission.
+        writer = bus.attach(
+            JsonlTraceWriter(trace_file, kinds=LIFECYCLE_KINDS), verbose=False
+        )
+    stats = build_core(name, spec, scale, config, profile_distance, bus=bus).run()
+    if writer is not None:
+        writer.close()
+    metrics = aggregator.as_dict() if aggregator is not None else None
+    return stats, metrics, time.perf_counter() - started
 
 
 class ParallelExperimentRunner(ExperimentRunner):
@@ -196,6 +269,8 @@ class ParallelExperimentRunner(ExperimentRunner):
         workload_names=None,
         jobs=1,
         cache_dir=None,
+        emit_metrics=False,
+        trace_dir=None,
     ):
         keyword_arguments = {}
         if config is not None:
@@ -206,6 +281,11 @@ class ParallelExperimentRunner(ExperimentRunner):
         self.jobs = max(1, int(jobs))
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.summary = RunSummary()
+        #: Attach a verbose MetricsAggregator to every simulation and
+        #: collect the per-policy snapshots in :attr:`summary`.
+        self.emit_metrics = bool(emit_metrics)
+        #: Write a compact lifecycle-events JSONL per simulation here.
+        self.trace_dir = trace_dir
 
     # -- cache plumbing -----------------------------------------------------------
 
@@ -230,34 +310,68 @@ class ParallelExperimentRunner(ExperimentRunner):
             "version": CACHE_FORMAT_VERSION,
         }
 
-    def _load_cached(self, name, spec, config, profile_distance):
-        if self.cache is None:
+    def _trace_file(self, name, spec, config, profile_distance):
+        if self.trace_dir is None:
             return None
         digest = self._job_digest(name, spec, config, profile_distance)
-        stats = self.cache.load(digest)
-        if stats is not None:
-            self.summary.record_hit()
+        return trace_path(self.trace_dir, name, spec, digest)
+
+    def _load_cached(self, name, spec, config, profile_distance):
+        """Usable cached stats, or ``None`` when the job must run.
+
+        A hit is unusable when the run must produce side channels the
+        cache cannot replay: a requested trace file, or metrics the
+        entry does not carry.  Metrics a usable hit *does* carry flow
+        into the run summary exactly as a fresh simulation's would.
+        """
+        if self.cache is None or self.trace_dir is not None:
+            return None
+        digest = self._job_digest(name, spec, config, profile_distance)
+        entry = self.cache.load(digest)
+        if entry is None:
+            return None
+        stats, metrics = entry
+        if self.emit_metrics and not metrics:
+            return None
+        self.summary.record_hit()
+        if self.emit_metrics:
+            self.summary.record_metrics(self._job_label(spec, config), metrics)
         return stats
 
-    def _store_cached(self, name, spec, config, profile_distance, stats):
+    def _store_cached(self, name, spec, config, profile_distance, stats, metrics=None):
         if self.cache is None:
             return
         digest = self._job_digest(name, spec, config, profile_distance)
         self.cache.store(
-            digest, stats, self._job_meta(name, spec, config, profile_distance)
+            digest,
+            stats,
+            self._job_meta(name, spec, config, profile_distance),
+            metrics=metrics,
         )
+
+    def _record_result(self, name, spec, config, profile_distance, outcome):
+        """Book one finished simulation: summary, metrics, disk cache."""
+        stats, metrics, seconds = outcome
+        self.summary.record_job(name, self._job_label(spec, config), seconds)
+        if metrics is not None:
+            self.summary.record_metrics(self._job_label(spec, config), metrics)
+        self._store_cached(name, spec, config, profile_distance, stats, metrics)
+        return stats
 
     def _simulate(self, name, spec, config, profile_distance):
         stats = self._load_cached(name, spec, config, profile_distance)
         if stats is not None:
             return stats
-        started = time.perf_counter()
-        stats = simulate_job(name, spec, self.scale, config, profile_distance)
-        self.summary.record_job(
-            name, self._job_label(spec, config), time.perf_counter() - started
+        outcome = _execute_job(
+            name,
+            spec,
+            self.scale,
+            config,
+            profile_distance,
+            emit_metrics=self.emit_metrics,
+            trace_file=self._trace_file(name, spec, config, profile_distance),
         )
-        self._store_cached(name, spec, config, profile_distance, stats)
-        return stats
+        return self._record_result(name, spec, config, profile_distance, outcome)
 
     # -- fan-out ------------------------------------------------------------------
 
@@ -297,14 +411,20 @@ class ParallelExperimentRunner(ExperimentRunner):
         with ProcessPoolExecutor(max_workers=workers) as executor:
             futures = {
                 executor.submit(
-                    _execute_job, name, spec, self.scale, config, profile_distance
+                    _execute_job,
+                    name,
+                    spec,
+                    self.scale,
+                    config,
+                    profile_distance,
+                    self.emit_metrics,
+                    self._trace_file(name, spec, config, profile_distance),
                 ): (name, spec, config, profile_distance)
                 for name, spec, config, profile_distance in pending
             }
             for future in as_completed(futures):
                 name, spec, config, profile_distance = futures[future]
-                stats, seconds = future.result()
                 key = self._result_key(name, spec, config, profile_distance)
-                self._results[key] = stats
-                self.summary.record_job(name, self._job_label(spec, config), seconds)
-                self._store_cached(name, spec, config, profile_distance, stats)
+                self._results[key] = self._record_result(
+                    name, spec, config, profile_distance, future.result()
+                )

@@ -52,6 +52,109 @@ def format_speedup_table(result, title):
     return format_table(headers, rows, title=title)
 
 
+def _attribution_origin_order(origins):
+    """Origins sorted with "entry" first, then numerically by trigger PC."""
+
+    def sort_key(origin):
+        if origin == "entry":
+            return (0, 0, "")
+        try:
+            return (1, int(origin), "")
+        except ValueError:
+            return (2, 0, origin)
+
+    return sorted(origins, key=sort_key)
+
+
+def _format_ratio(value):
+    return "{:.3f}".format(value)
+
+
+def format_spawn_point_attribution(metrics, title=None):
+    """Render one :class:`~repro.obs.MetricsAggregator` snapshot.
+
+    Args:
+        metrics: ``aggregator.as_dict()`` output (or a
+            :func:`~repro.obs.merge_metrics` result) — a mapping with
+            ``origins`` and ``totals``.
+        title: Optional title line.
+
+    One row per originating spawn point (trigger PC), "entry" being
+    the initial non-speculative task, plus a TOTAL row.
+    """
+    headers = [
+        "origin",
+        "spawns",
+        "squashes",
+        "violations",
+        "committed",
+        "squashed_instr",
+        "tasks",
+        "mean_len",
+        "useful",
+    ]
+
+    def row(label, counters):
+        return [
+            label,
+            counters["spawns"],
+            counters["squashes"],
+            counters["violations"],
+            counters["committed"],
+            counters["squashed_instructions"],
+            counters["tasks_committed"],
+            "{:.1f}".format(counters["mean_task_length"]),
+            _format_ratio(counters["useful_commit_ratio"]),
+        ]
+
+    origins = metrics.get("origins", {})
+    rows = [
+        row(origin, origins[origin])
+        for origin in _attribution_origin_order(origins)
+    ]
+    rows.append(row("TOTAL", metrics["totals"]))
+    return format_table(headers, rows, title=title)
+
+
+def format_policy_attribution(metrics_by_spec, title=None):
+    """Render per-policy attribution totals, one row per policy spec.
+
+    Args:
+        metrics_by_spec: ``{spec: metrics snapshot}`` where each
+            snapshot has the ``origins``/``totals`` shape of
+            :meth:`~repro.obs.MetricsAggregator.as_dict`.
+        title: Optional title line.
+    """
+    headers = [
+        "policy",
+        "spawns",
+        "squashes",
+        "violations",
+        "committed",
+        "squashed_instr",
+        "tasks",
+        "mean_len",
+        "useful",
+    ]
+    rows = []
+    for spec in sorted(metrics_by_spec):
+        totals = metrics_by_spec[spec]["totals"]
+        rows.append(
+            [
+                spec,
+                totals["spawns"],
+                totals["squashes"],
+                totals["violations"],
+                totals["committed"],
+                totals["squashed_instructions"],
+                totals["tasks_committed"],
+                "{:.1f}".format(totals["mean_task_length"]),
+                _format_ratio(totals["useful_commit_ratio"]),
+            ]
+        )
+    return format_table(headers, rows, title=title)
+
+
 def format_bars(values, width=50, label_width=None):
     """Render labelled horizontal ASCII bars (the figures are bar charts).
 

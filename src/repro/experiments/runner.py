@@ -16,7 +16,7 @@ fan-out and the on-disk result cache layered on top.
 from repro.polyflow import PAPER_CONFIG, PolyFlowCore, superscalar_config
 from repro.polyflow.config import config_fingerprint
 from repro.polyflow.stats import speedup_percent
-from repro.spawn import profile_spawn_points
+from repro.spawn import canonical_spec, profile_spawn_points
 from repro.spawn.hints import HintTable
 from repro.workloads import WORKLOAD_NAMES, prepare_workload
 
@@ -57,17 +57,19 @@ def clear_profile_cache():
     _PROFILE_CACHE.clear()
 
 
-def simulate_job(name, spec, scale, config, profile_distance=None):
-    """Run one (workload, policy) cycle-level simulation.
+def build_core(name, spec, scale, config, profile_distance=None, bus=None):
+    """Construct the :class:`PolyFlowCore` for one (workload, policy) job.
 
-    This is the single entry point for every simulation the experiment
-    harness performs; serial and parallel execution differ only in
-    where it runs.  All arguments and the returned
-    :class:`~repro.polyflow.stats.SimStats` are picklable.
+    This is the single place the experiment harness turns a picklable
+    job description into a runnable core, so every caller — the serial
+    runner, the process-pool workers, and the ``trace`` CLI — gets the
+    identical machine.  Pass ``bus`` to attach observability sinks
+    before the run starts (see :mod:`repro.obs`).
 
     Args:
         name: Workload name (see :data:`~repro.workloads.WORKLOAD_NAMES`).
-        spec: Policy spec, :data:`REC_PRED_SPEC`, or
+        spec: Policy spec (aliases like ``control-equivalent`` are
+            resolved), :data:`REC_PRED_SPEC`, or
             :data:`SUPERSCALAR_SPEC` for the baseline.
         scale: Workload scale factor.
         config: The PolyFlow :class:`MachineConfig`
@@ -77,22 +79,38 @@ def simulate_job(name, spec, scale, config, profile_distance=None):
             spawn points (defaults to ``config.max_spawn_distance``).
             Ablations sweep the machine's distance cap while keeping
             the profile fixed; this keeps those runs reproducible.
+        bus: Optional :class:`~repro.obs.EventBus` carrying trace or
+            metrics sinks.
     """
+    spec = canonical_spec(spec)
     prepared = prepare_workload(name, scale)
     if spec == SUPERSCALAR_SPEC:
-        core = PolyFlowCore(prepared.trace, superscalar_config(config), HintTable())
-    elif spec == REC_PRED_SPEC:
+        return PolyFlowCore(
+            prepared.trace, superscalar_config(config), HintTable(), bus=bus
+        )
+    if spec == REC_PRED_SPEC:
         from repro.reconvergence import build_reconvergence_spawner
 
-        core = PolyFlowCore(prepared.trace, config, HintTable())
+        core = PolyFlowCore(prepared.trace, config, HintTable(), bus=bus)
         core.spawn_unit = build_reconvergence_spawner(prepared, config)
-    else:
-        if profile_distance is None:
-            profile_distance = config.max_spawn_distance
-        profile = spawn_profile(name, scale, profile_distance)
-        policy = prepared.spawn_analysis.policy(spec)
-        core = PolyFlowCore(prepared.trace, config, profile.hint_table(policy))
-    return core.run()
+        return core
+    if profile_distance is None:
+        profile_distance = config.max_spawn_distance
+    profile = spawn_profile(name, scale, profile_distance)
+    policy = prepared.spawn_analysis.policy(spec)
+    return PolyFlowCore(prepared.trace, config, profile.hint_table(policy), bus=bus)
+
+
+def simulate_job(name, spec, scale, config, profile_distance=None):
+    """Run one (workload, policy) cycle-level simulation.
+
+    This is the single entry point for every simulation the experiment
+    harness performs; serial and parallel execution differ only in
+    where it runs.  All arguments and the returned
+    :class:`~repro.polyflow.stats.SimStats` are picklable.  See
+    :func:`build_core` for the argument semantics.
+    """
+    return build_core(name, spec, scale, config, profile_distance).run()
 
 
 class ExperimentRunner:
@@ -132,7 +150,9 @@ class ExperimentRunner:
     # -- simulation ---------------------------------------------------------------
 
     def _result_key(self, name, spec, config, profile_distance):
-        return (name, spec, config_fingerprint(config), profile_distance)
+        # Aliases collapse onto their canonical spec so "control-equivalent"
+        # and "postdoms" share one memo (and one disk-cache) entry.
+        return (name, canonical_spec(spec), config_fingerprint(config), profile_distance)
 
     def _simulate(self, name, spec, config, profile_distance):
         """Run one simulation in-process (overridden by the parallel

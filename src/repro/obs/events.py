@@ -1,0 +1,219 @@
+"""Typed simulation events (schema version 1).
+
+Every task-lifecycle transition inside the PolyFlow core is emitted as
+one of the event classes below.  All events share five base fields:
+
+* ``cycle`` — simulation cycle of the transition,
+* ``task_id`` — the task the transition belongs to (the spawner for
+  spawn-decision events),
+* ``trace_index`` — the dynamic trace index the event anchors to,
+* ``pc`` — the static PC at that trace index,
+* ``origin`` — the trigger PC of the spawn point that created the
+  event's task (``None`` for the initial, non-speculative task).
+
+Subclasses add kind-specific fields listed in their ``_extra`` tuple;
+:meth:`Event.as_dict` serializes base + extra fields to primitives, so
+every event is JSON-ready with no per-sink knowledge of the kinds.
+
+Lifecycle events (spawn accepted, task started, violation, squash,
+task commit) are emitted on every run — :class:`~repro.polyflow.stats.
+SimStats` consumes them.  High-frequency events (fetch, commit, hint
+lookups, spawn requested/rejected) are only emitted when a verbose
+sink is attached to the bus, so tracing costs nothing when off.
+"""
+
+from repro.obs.bus import EVENT_SCHEMA_VERSION  # noqa: F401  (re-export)
+
+_PRIMITIVES = (int, float, str, bool)
+
+
+class Event:
+    """Base event: the five fields every transition carries."""
+
+    kind = None
+    _extra = ()
+    __slots__ = ("cycle", "task_id", "trace_index", "pc", "origin")
+
+    def __init__(self, cycle, task_id, trace_index, pc, origin=None):
+        self.cycle = cycle
+        self.task_id = task_id
+        self.trace_index = trace_index
+        self.pc = pc
+        self.origin = origin
+
+    def as_dict(self):
+        """Serialize to a flat dict of JSON primitives."""
+        payload = {
+            "kind": self.kind,
+            "cycle": self.cycle,
+            "task": self.task_id,
+            "index": self.trace_index,
+            "pc": self.pc,
+            "origin": self.origin,
+        }
+        for name in self._extra:
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, _PRIMITIVES):
+                value = str(value)
+            payload[name] = value
+        return payload
+
+    def __repr__(self):
+        return "{}(cycle={}, task={}, index={}, pc={:#x})".format(
+            type(self).__name__, self.cycle, self.task_id, self.trace_index, self.pc
+        )
+
+
+class SpawnRequested(Event):
+    """The spawn unit resolved a usable target for a trigger."""
+
+    kind = "spawn_requested"
+    _extra = ("target_index",)
+    __slots__ = ("target_index",)
+
+    def __init__(self, cycle, task_id, trace_index, pc, origin, target_index):
+        super().__init__(cycle, task_id, trace_index, pc, origin)
+        self.target_index = target_index
+
+
+class SpawnAccepted(Event):
+    """A spawn was performed; ``new_task_id`` begins at ``target_index``."""
+
+    kind = "spawn_accepted"
+    _extra = ("target_index", "new_task_id", "category", "nested")
+    __slots__ = ("target_index", "new_task_id", "category", "nested")
+
+    def __init__(
+        self, cycle, task_id, trace_index, pc, origin,
+        target_index, new_task_id, category, nested=False,
+    ):
+        super().__init__(cycle, task_id, trace_index, pc, origin)
+        self.target_index = target_index
+        self.new_task_id = new_task_id
+        self.category = category
+        self.nested = nested
+
+
+class SpawnRejected(Event):
+    """A resolvable spawn was not performed (see ``reason``)."""
+
+    kind = "spawn_rejected"
+    _extra = ("target_index", "reason")
+    __slots__ = ("target_index", "reason")
+
+    def __init__(self, cycle, task_id, trace_index, pc, origin, target_index, reason):
+        super().__init__(cycle, task_id, trace_index, pc, origin)
+        self.target_index = target_index
+        self.reason = reason
+
+
+class HintLookup(Event):
+    """The spawn unit consulted its hint table at a trigger PC.
+
+    ``hit`` is True when the hint produced a usable dynamic target
+    (in-window, not suppressed by profitability feedback).
+    """
+
+    kind = "hint"
+    _extra = ("hit",)
+    __slots__ = ("hit",)
+
+    def __init__(self, cycle, task_id, trace_index, pc, origin, hit):
+        super().__init__(cycle, task_id, trace_index, pc, origin)
+        self.hit = hit
+
+
+class TaskStarted(Event):
+    """A task began fetching at ``trace_index`` (its segment start)."""
+
+    kind = "task_start"
+    __slots__ = ()
+
+
+class InstructionFetched(Event):
+    """One instruction was fetched by ``task_id`` (verbose only)."""
+
+    kind = "fetch"
+    __slots__ = ()
+
+
+class InstructionCommitted(Event):
+    """One instruction retired architecturally (verbose only)."""
+
+    kind = "commit"
+    __slots__ = ()
+
+
+class DependenceViolation(Event):
+    """A load speculated past a conflicting older-task store."""
+
+    kind = "violation"
+    _extra = ("store_index", "store_pc")
+    __slots__ = ("store_index", "store_pc")
+
+    def __init__(self, cycle, task_id, trace_index, pc, origin, store_index, store_pc):
+        super().__init__(cycle, task_id, trace_index, pc, origin)
+        self.store_index = store_index
+        self.store_pc = store_pc
+
+
+class TaskSquashed(Event):
+    """One task was squashed (its fetch rewound to the segment start).
+
+    ``chain_depth`` is the number of tasks squashed together in this
+    chain (the violator and everything younger); one event is emitted
+    per squashed task, each carrying the full chain depth and its own
+    discarded-instruction count.
+    """
+
+    kind = "squash"
+    _extra = ("cause", "chain_depth", "squashed_instructions")
+    __slots__ = ("cause", "chain_depth", "squashed_instructions")
+
+    def __init__(
+        self, cycle, task_id, trace_index, pc, origin,
+        cause, chain_depth, squashed_instructions,
+    ):
+        super().__init__(cycle, task_id, trace_index, pc, origin)
+        self.cause = cause
+        self.chain_depth = chain_depth
+        self.squashed_instructions = squashed_instructions
+
+
+class TaskCommitted(Event):
+    """A task fully retired and left the machine (merge/commit)."""
+
+    kind = "task_commit"
+    _extra = ("start_index", "end_index", "length")
+    __slots__ = ("start_index", "end_index", "length")
+
+    def __init__(self, cycle, task_id, trace_index, pc, origin, start_index, end_index):
+        super().__init__(cycle, task_id, trace_index, pc, origin)
+        self.start_index = start_index
+        self.end_index = end_index
+        self.length = end_index - start_index
+
+
+#: Every event kind of schema version 1, in a stable order.
+ALL_KINDS = (
+    "task_start",
+    "hint",
+    "spawn_requested",
+    "spawn_accepted",
+    "spawn_rejected",
+    "fetch",
+    "commit",
+    "violation",
+    "squash",
+    "task_commit",
+)
+
+#: The low-frequency task-lifecycle kinds emitted on every run (the
+#: compact subset used for golden traces).
+LIFECYCLE_KINDS = (
+    "task_start",
+    "spawn_accepted",
+    "violation",
+    "squash",
+    "task_commit",
+)

@@ -1,0 +1,175 @@
+"""Trace-writing sinks: JSONL event streams and Chrome trace_event files.
+
+Both writers are deterministic: given the same simulation they produce
+byte-identical output (keys are sorted, no timestamps or process state
+leak in), which is what lets the golden-trace suite assert byte
+equality across runs and across worker processes.
+"""
+
+import json
+import os
+
+from repro.obs.bus import EVENT_SCHEMA_VERSION
+
+_JSON_KWARGS = {"sort_keys": True, "separators": (",", ":")}
+
+
+class JsonlTraceWriter:
+    """Writes one JSON object per event to a ``.jsonl`` stream.
+
+    The first line is a header record carrying the event schema
+    version.  An optional ``kinds`` filter keeps the output compact
+    (e.g. :data:`~repro.obs.events.LIFECYCLE_KINDS` for golden traces).
+    """
+
+    def __init__(self, path_or_stream, kinds=None):
+        if hasattr(path_or_stream, "write"):
+            self._stream = path_or_stream
+            self._owns_stream = False
+            self.path = getattr(path_or_stream, "name", None)
+        else:
+            self._stream = open(path_or_stream, "w", encoding="utf-8", newline="\n")
+            self._owns_stream = True
+            self.path = path_or_stream
+        self._kinds = frozenset(kinds) if kinds is not None else None
+        self.events_written = 0
+        self._stream.write(
+            json.dumps(
+                {"kind": "header", "schema": EVENT_SCHEMA_VERSION}, **_JSON_KWARGS
+            )
+            + "\n"
+        )
+
+    def on_event(self, event):
+        if self._kinds is not None and event.kind not in self._kinds:
+            return
+        self._stream.write(json.dumps(event.as_dict(), **_JSON_KWARGS) + "\n")
+        self.events_written += 1
+
+    def close(self):
+        if self._owns_stream:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+
+class ChromeTraceExporter:
+    """Exports the event stream in Chrome ``trace_event`` JSON format.
+
+    The resulting file loads in ``chrome://tracing`` and in Perfetto
+    (ui.perfetto.dev): each task is a thread whose duration slice spans
+    task start to task commit (cycles are mapped to microseconds), with
+    instant events marking dependence violations, squashes, and spawns.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._trace_events = []
+        self._named_tasks = set()
+
+    def _name_task(self, event):
+        if event.task_id in self._named_tasks:
+            return
+        self._named_tasks.add(event.task_id)
+        self._trace_events.append(
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": event.task_id,
+                "name": "thread_name",
+                "args": {"name": "task {}".format(event.task_id)},
+            }
+        )
+
+    def _instant(self, event, name, args):
+        self._trace_events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "pid": 0,
+                "tid": event.task_id,
+                "ts": event.cycle,
+                "name": name,
+                "cat": event.kind,
+                "args": args,
+            }
+        )
+
+    def on_event(self, event):
+        kind = event.kind
+        if kind == "task_start":
+            self._name_task(event)
+            self._trace_events.append(
+                {
+                    "ph": "B",
+                    "pid": 0,
+                    "tid": event.task_id,
+                    "ts": event.cycle,
+                    "name": "task {}".format(event.task_id),
+                    "cat": "task",
+                    "args": {"start_index": event.trace_index, "origin": event.origin},
+                }
+            )
+        elif kind == "task_commit":
+            self._trace_events.append(
+                {
+                    "ph": "E",
+                    "pid": 0,
+                    "tid": event.task_id,
+                    "ts": event.cycle,
+                    "name": "task {}".format(event.task_id),
+                    "cat": "task",
+                    "args": {"length": event.length},
+                }
+            )
+        elif kind == "violation":
+            self._instant(
+                event,
+                "violation",
+                {"load_pc": event.pc, "store_pc": event.store_pc},
+            )
+        elif kind == "squash":
+            self._instant(
+                event,
+                "squash ({})".format(event.cause),
+                {
+                    "chain_depth": event.chain_depth,
+                    "squashed_instructions": event.squashed_instructions,
+                },
+            )
+        elif kind == "spawn_accepted":
+            self._instant(
+                event,
+                "spawn -> task {}".format(event.new_task_id),
+                {"target_index": event.target_index, "category": str(event.category)},
+            )
+
+    def close(self):
+        """Write the accumulated trace to ``path`` (deterministic)."""
+        document = {
+            "traceEvents": self._trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "schema": EVENT_SCHEMA_VERSION,
+                "time_unit": "1 cycle = 1us",
+            },
+        }
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.path, "w", encoding="utf-8", newline="\n") as stream:
+            json.dump(document, stream, **_JSON_KWARGS)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False

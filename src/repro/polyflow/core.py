@@ -34,6 +34,19 @@ from repro.errors import SimulationError
 from repro.frontend.branch_predictor import GsharePredictor, IndirectTargetPredictor
 from repro.frontend.icount import select_fetch_tasks
 from repro.memory.hierarchy import CacheHierarchy
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    DependenceViolation,
+    HintLookup,
+    InstructionCommitted,
+    InstructionFetched,
+    SpawnAccepted,
+    SpawnRejected,
+    SpawnRequested,
+    TaskCommitted,
+    TaskSquashed,
+    TaskStarted,
+)
 from repro.polyflow.config import PAPER_CONFIG, superscalar_config
 from repro.polyflow.dependences import StoreSetPredictor
 from repro.polyflow.spawn_unit import SpawnUnit
@@ -65,11 +78,18 @@ _HEAD_SCHED_RESERVE = 8
 class PolyFlowCore:
     """One simulation run of the PolyFlow core over a trace."""
 
-    def __init__(self, trace, config=PAPER_CONFIG, hint_table=None, max_cycles=None):
+    def __init__(
+        self, trace, config=PAPER_CONFIG, hint_table=None, max_cycles=None, bus=None
+    ):
         self.trace = trace
         self.config = config
         self.hint_table = hint_table if hint_table is not None else HintTable()
         self.stats = SimStats()
+        #: The event bus.  Task-lifecycle events always flow (SimStats
+        #: consumes them); per-instruction events are only constructed
+        #: when a verbose sink is attached (``bus.verbose``).
+        self.bus = bus if bus is not None else EventBus()
+        self.bus.attach(self.stats, verbose=False)
         self.hierarchy = CacheHierarchy()
         self.gshare = GsharePredictor(config.gshare_counters, config.gshare_history_bits)
         self.indirect_predictor = IndirectTargetPredictor()
@@ -108,7 +128,11 @@ class PolyFlowCore:
             return self.stats
         if self.config.warm_caches:
             self._warm_caches()
-        self._tasks.append(self._new_task(0))
+        initial = self._new_task(0)
+        self._tasks.append(initial)
+        self.bus.emit(
+            TaskStarted(0, initial.task_id, 0, self.trace.records[0].inst.pc, None)
+        )
         count = len(self.trace)
         while self._retire_ptr < count:
             self._cycle += 1
@@ -124,6 +148,11 @@ class PolyFlowCore:
             self._issue()
             self._fetch()
             self.stats.task_occupancy_sum += len(self._tasks)
+        while self._tasks:
+            # The tail task (and only it) is never popped by retire;
+            # close out its lifetime so sinks see a balanced stream.
+            task = self._tasks.popleft()
+            self._emit_task_commit(task, count)
         self.stats.cycles = self._cycle
         self.stats.cache_stats = self.hierarchy.statistics()
         return self.stats
@@ -158,6 +187,25 @@ class PolyFlowCore:
 
     def _schedule(self, cycle, kind, index):
         self._events.setdefault(cycle, []).append((kind, index, self._gen[index]))
+
+    @staticmethod
+    def _origin_of(task):
+        """The trigger PC of the spawn point that created ``task``."""
+        point = task.spawn_point
+        return point.trigger_pc if point is not None else None
+
+    def _emit_task_commit(self, task, end_index):
+        self.bus.emit(
+            TaskCommitted(
+                self._cycle,
+                task.task_id,
+                task.start_index,
+                self.trace.records[task.start_index].inst.pc,
+                self._origin_of(task),
+                task.start_index,
+                end_index,
+            )
+        )
 
     # -- pipeline stages ---------------------------------------------------------
 
@@ -211,6 +259,7 @@ class PolyFlowCore:
         retired = 0
         width = self.config.width
         tasks = self._tasks
+        verbose = self.bus.verbose
         while retired < width and self._retire_ptr < count:
             index = self._retire_ptr
             if state[index] != _DONE:
@@ -221,8 +270,19 @@ class PolyFlowCore:
             retired += 1
             head = tasks[0]
             head.in_flight -= 1
+            if verbose:
+                self.bus.emit(
+                    InstructionCommitted(
+                        self._cycle,
+                        head.task_id,
+                        index,
+                        self.trace.records[index].inst.pc,
+                        self._origin_of(head),
+                    )
+                )
             if head.end_index is not None and self._retire_ptr >= head.end_index:
                 tasks.popleft()
+                self._emit_task_commit(head, head.end_index)
         self.stats.retired_instructions += retired
 
     def _drain_divert_queue(self):
@@ -384,15 +444,28 @@ class PolyFlowCore:
         violator = self._tasks[position]
         if violator.spawn_point is not None:
             self.spawn_unit.record_squash(violator.spawn_point.trigger_pc)
-        self._squash_from(position)
-        self.stats.violation_squashes += 1
+        self.bus.emit(
+            DependenceViolation(
+                self._cycle,
+                violator.task_id,
+                load_index,
+                load_pc,
+                self._origin_of(violator),
+                store_index,
+                store_pc,
+            )
+        )
+        self._squash_from(position, cause="memory-dependence")
 
-    def _squash_from(self, position):
+    def _squash_from(self, position, cause):
         """Squash tasks[position:] and rewind their fetch."""
         state = self._state
         gen = self._gen
-        squashed = 0
-        for task in list(self._tasks)[position:]:
+        records = self.trace.records
+        chain = list(self._tasks)[position:]
+        chain_depth = len(chain)
+        for task in chain:
+            squashed = 0
             for index in range(task.start_index, task.fetch_index):
                 current = state[index]
                 if current == _FREE:
@@ -410,7 +483,18 @@ class PolyFlowCore:
                 self._unsafe_mem.pop(index, None)
                 squashed += 1
             task.reset_for_squash(self._cycle, self.config.squash_restart_penalty)
-        self.stats.squashed_instructions += squashed
+            self.bus.emit(
+                TaskSquashed(
+                    self._cycle,
+                    task.task_id,
+                    task.start_index,
+                    records[task.start_index].inst.pc,
+                    self._origin_of(task),
+                    cause,
+                    chain_depth,
+                    squashed,
+                )
+            )
 
     # -- fetch --------------------------------------------------------------------
 
@@ -439,6 +523,9 @@ class PolyFlowCore:
         state = self._state
         config = self.config
         cycle = self._cycle
+        bus = self.bus
+        verbose = bus.verbose
+        task_origin = self._origin_of(task)
         is_head = task is self._tasks[0]
         rob_cap = config.rob_entries
         sched_cap = config.scheduler_entries
@@ -499,6 +586,10 @@ class PolyFlowCore:
             if unsafe_producer is not None:
                 self._unsafe_mem[index] = unsafe_producer
             budget -= 1
+            if verbose:
+                bus.emit(
+                    InstructionFetched(cycle, task.task_id, index, pc, task_origin)
+                )
 
             if divert_producers is not None:
                 state[index] = _DIVERT
@@ -520,12 +611,33 @@ class PolyFlowCore:
             if len(self._tasks) < config.max_tasks:
                 if task.end_index is None and task is self._tasks[-1]:
                     target = self.spawn_unit.spawn_target(index, pc)
+                    if verbose:
+                        self._emit_spawn_decision(task, index, pc, target)
                     if target >= 0:
-                        self._spawn(task, pc, target)
+                        self._spawn(task, pc, target, index)
                 elif config.nested_spawns and task.end_index is not None:
                     target = self.spawn_unit.spawn_target(index, pc)
                     if 0 <= target < task.end_index:
-                        self._spawn_nested(task, pc, target)
+                        if verbose:
+                            self._emit_spawn_decision(task, index, pc, target)
+                        self._spawn_nested(task, pc, target, index)
+                    elif verbose:
+                        self._emit_spawn_decision(
+                            task, index, pc, target,
+                            rejected="outside-segment" if target >= 0 else None,
+                        )
+                elif verbose:
+                    target = self.spawn_unit.spawn_target(index, pc)
+                    if target >= 0:
+                        self._emit_spawn_decision(
+                            task, index, pc, target, rejected="not-tail"
+                        )
+            elif verbose:
+                target = self.spawn_unit.spawn_target(index, pc)
+                if target >= 0:
+                    self._emit_spawn_decision(
+                        task, index, pc, target, rejected="task-limit"
+                    )
 
             # Control flow effects on fetch.
             if inst.is_conditional_branch:
@@ -599,7 +711,59 @@ class PolyFlowCore:
                         unsafe_producer = mem_producer
         return producers, unsafe_producer
 
-    def _spawn_nested(self, task, trigger_pc, target_index):
+    def _emit_spawn_decision(self, task, index, pc, target, rejected=None):
+        """Verbose-only bookkeeping of one spawn-unit consultation.
+
+        Emits the hint hit/miss, the spawn request when a target was
+        resolved, and — when the machine could not act on it — the
+        rejection with its reason.  (Spawn *acceptance* is emitted by
+        :meth:`_spawn` / :meth:`_spawn_nested` on every run.)
+        """
+        hint = self.spawn_unit.hint_for(pc)
+        if hint is None and target < 0:
+            return
+        origin = self._origin_of(task)
+        cycle = self._cycle
+        task_id = task.task_id
+        if hint is not None:
+            self.bus.emit(HintLookup(cycle, task_id, index, pc, origin, target >= 0))
+        if target >= 0:
+            self.bus.emit(SpawnRequested(cycle, task_id, index, pc, origin, target))
+            if rejected is not None:
+                self.bus.emit(
+                    SpawnRejected(cycle, task_id, index, pc, origin, target, rejected)
+                )
+        elif hint is not None:
+            self.bus.emit(
+                SpawnRejected(cycle, task_id, index, pc, origin, -1, "no-target")
+            )
+
+    def _emit_spawn_accepted(self, spawner, trigger_index, trigger_pc, new_task, nested):
+        spawn_point = new_task.spawn_point
+        self.bus.emit(
+            SpawnAccepted(
+                self._cycle,
+                spawner.task_id,
+                trigger_index,
+                trigger_pc,
+                self._origin_of(spawner),
+                new_task.start_index,
+                new_task.task_id,
+                spawn_point.category if spawn_point is not None else None,
+                nested,
+            )
+        )
+        self.bus.emit(
+            TaskStarted(
+                self._cycle,
+                new_task.task_id,
+                new_task.start_index,
+                self.trace.records[new_task.start_index].inst.pc,
+                trigger_pc,
+            )
+        )
+
+    def _spawn_nested(self, task, trigger_pc, target_index, trigger_index):
         """Split a bounded task's segment at ``target_index``.
 
         The new task takes over the split-off suffix of the spawner's
@@ -619,12 +783,9 @@ class PolyFlowCore:
         position = self._task_position_of_index(task.start_index)
         self._tasks.insert(position + 1, new_task)
         self.spawn_unit.record_spawn(trigger_pc)
-        self.stats.tasks_created += 1
-        self.stats.nested_spawns += 1
-        if spawn_point is not None:
-            self.stats.spawns_by_category[spawn_point.category] += 1
+        self._emit_spawn_accepted(task, trigger_index, trigger_pc, new_task, True)
 
-    def _spawn(self, tail, trigger_pc, target_index):
+    def _spawn(self, tail, trigger_pc, target_index, trigger_index):
         hint = self.spawn_unit.hint_for(trigger_pc)
         spawn_point = hint.spawn_point if hint is not None else None
         tail.end_index = target_index
@@ -635,14 +796,12 @@ class PolyFlowCore:
         new_task.adopt_spawner_ras(tail.ras)
         self._tasks.append(new_task)
         self.spawn_unit.record_spawn(trigger_pc)
-        self.stats.tasks_created += 1
-        if spawn_point is not None:
-            self.stats.spawns_by_category[spawn_point.category] += 1
+        self._emit_spawn_accepted(tail, trigger_index, trigger_pc, new_task, False)
 
 
-def simulate(trace, config=PAPER_CONFIG, hint_table=None, max_cycles=None):
+def simulate(trace, config=PAPER_CONFIG, hint_table=None, max_cycles=None, bus=None):
     """Run the PolyFlow model over ``trace`` and return its stats."""
-    return PolyFlowCore(trace, config, hint_table, max_cycles).run()
+    return PolyFlowCore(trace, config, hint_table, max_cycles, bus).run()
 
 
 def simulate_superscalar(trace, base_config=PAPER_CONFIG, max_cycles=None):

@@ -1,4 +1,15 @@
-"""Simulation statistics."""
+"""Simulation statistics.
+
+:class:`SimStats` is a consumer of the simulation event bus (see
+:mod:`repro.obs`): the task-lifecycle counters — tasks created, spawns
+by category, violation squashes, squashed instructions — accumulate in
+:meth:`SimStats.on_event` from the events the core emits, so they can
+never drift from what an attached trace sink observes.  Only the
+per-instruction hot-path counters (fetched/retired/diverted, branch
+outcomes, i-cache stalls) are incremented inline by the core, because
+constructing an event per instruction on untraced runs would not be
+zero-cost.
+"""
 
 from collections import defaultdict
 
@@ -23,6 +34,22 @@ class SimStats:
         self.icache_stall_cycles = 0
         self.task_occupancy_sum = 0
         self.cache_stats = {}
+
+    # -- event-bus consumption --------------------------------------------------
+
+    def on_event(self, event):
+        """Accumulate one task-lifecycle event (bus-sink interface)."""
+        kind = event.kind
+        if kind == "spawn_accepted":
+            self.tasks_created += 1
+            if event.nested:
+                self.nested_spawns += 1
+            if event.category is not None:
+                self.spawns_by_category[event.category] += 1
+        elif kind == "squash":
+            self.squashed_instructions += event.squashed_instructions
+        elif kind == "violation":
+            self.violation_squashes += 1
 
     @property
     def ipc(self):
@@ -51,28 +78,31 @@ class SimStats:
         return sum(self.spawns_by_category.values())
 
     def as_dict(self):
-        """All statistics as a plain dictionary (for reports)."""
-        return {
-            "cycles": self.cycles,
-            "retired_instructions": self.retired_instructions,
-            "ipc": self.ipc,
-            "tasks_created": self.tasks_created,
-            "nested_spawns": self.nested_spawns,
-            "total_spawns": self.total_spawns,
-            "spawns_by_category": {
-                str(category): count
-                for category, count in sorted(
-                    self.spawns_by_category.items(), key=lambda item: str(item[0])
-                )
-            },
-            "violation_squashes": self.violation_squashes,
-            "squashed_instructions": self.squashed_instructions,
-            "diverted_instructions": self.diverted_instructions,
-            "branch_mispredicts": self.branch_mispredicts,
-            "branch_mispredict_rate": self.branch_mispredict_rate,
-            "mean_active_tasks": self.mean_active_tasks,
-            "cache_stats": dict(self.cache_stats),
+        """All statistics as a plain dictionary (for reports).
+
+        Every plain counter attribute is included automatically, so a
+        counter added to ``__init__`` (or accumulated from a new bus
+        event) can never be silently dropped from reports — the
+        round-trip test in ``tests/polyflow/test_stats_roundtrip.py``
+        locks this in.
+        """
+        result = {
+            name: value
+            for name, value in vars(self).items()
+            if name not in ("spawns_by_category", "cache_stats")
         }
+        result["spawns_by_category"] = {
+            str(category): count
+            for category, count in sorted(
+                self.spawns_by_category.items(), key=lambda item: str(item[0])
+            )
+        }
+        result["ipc"] = self.ipc
+        result["total_spawns"] = self.total_spawns
+        result["branch_mispredict_rate"] = self.branch_mispredict_rate
+        result["mean_active_tasks"] = self.mean_active_tasks
+        result["cache_stats"] = dict(self.cache_stats)
+        return result
 
     def __repr__(self):
         return "SimStats(ipc={:.3f}, cycles={}, spawns={})".format(

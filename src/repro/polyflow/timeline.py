@@ -7,43 +7,34 @@ one event per fetched instruction, and renders an ASCII timeline with
 one row per task and one column per time bucket.
 """
 
+from repro.obs.events import InstructionFetched
 from repro.polyflow.core import PolyFlowCore
 
+#: Backwards-compatible alias: the tracer now consumes the simulation
+#: event bus, so its events ARE the core's typed fetch events.
+FetchEvent = InstructionFetched
 
-class FetchEvent:
-    """One fetched instruction: who fetched what, and when."""
 
-    __slots__ = ("cycle", "task_id", "trace_index", "pc")
+class _FetchCollector:
+    """A verbose bus sink keeping only the ``fetch`` events."""
 
-    def __init__(self, cycle, task_id, trace_index, pc):
-        self.cycle = cycle
-        self.task_id = task_id
-        self.trace_index = trace_index
-        self.pc = pc
+    __slots__ = ("events",)
 
-    def __repr__(self):
-        return "FetchEvent(cycle={}, task={}, pc={:#x})".format(
-            self.cycle, self.task_id, self.pc
-        )
+    def __init__(self, events):
+        self.events = events
+
+    def on_event(self, event):
+        if event.kind == "fetch":
+            self.events.append(event)
 
 
 class TimelineTracer(PolyFlowCore):
-    """A PolyFlow core that records every fetch as a :class:`FetchEvent`."""
+    """A PolyFlow core whose bus records every fetch as a :class:`FetchEvent`."""
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self.fetch_events = []
-
-    def _fetch_from_task(self, task, budget):
-        before = task.fetch_index
-        remaining = super()._fetch_from_task(task, budget)
-        for index in range(before, task.fetch_index):
-            self.fetch_events.append(
-                FetchEvent(
-                    self._cycle, task.task_id, index, self.trace.records[index].inst.pc
-                )
-            )
-        return remaining
+        self.bus.attach(_FetchCollector(self.fetch_events))
 
     def render_timeline(
         self, start_cycle=0, end_cycle=None, bucket=4, max_tasks=12, labeler=None

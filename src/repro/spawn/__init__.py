@@ -23,8 +23,10 @@ from repro.spawn.policies import (
     COMBINATION_POLICY_SPECS,
     EXCLUSION_POLICY_SPECS,
     INDIVIDUAL_POLICY_SPECS,
+    POLICY_ALIASES,
     SpawnAnalysis,
     SpawnPolicy,
+    canonical_spec,
     merge_policies,
     policy_from_points,
 )
@@ -53,6 +55,8 @@ __all__ = [
     "INDIVIDUAL_POLICY_SPECS",
     "COMBINATION_POLICY_SPECS",
     "EXCLUSION_POLICY_SPECS",
+    "POLICY_ALIASES",
+    "canonical_spec",
     "HintEntry",
     "HintTable",
     "PointProfile",

@@ -45,6 +45,24 @@ _CATEGORY_BY_SPEC = {
     "other": SpawnCategory.OTHER,
 }
 
+#: Human-friendly names for the paper's headline policies, accepted
+#: anywhere a spec string is (CLI, :meth:`SpawnAnalysis.policy`).
+POLICY_ALIASES = {
+    "control-equivalent": "postdoms",
+    "best-heuristic": "loop+procFT+loopFT",
+}
+
+
+def canonical_spec(spec):
+    """Resolve policy aliases to the canonical spec string.
+
+    Canonicalizing at every entry point keeps cache keys, report
+    labels, and golden-trace filenames independent of which name the
+    caller used.
+    """
+    spec = spec.strip()
+    return POLICY_ALIASES.get(spec, spec)
+
 
 class SpawnPolicy:
     """An immutable, trigger-indexed set of spawn points."""
@@ -105,13 +123,14 @@ class SpawnAnalysis:
 
         Accepted specs: ``postdoms``, the individual heuristics
         (``loop``, ``loopFT``, ``procFT``, ``hammock``, ``other``),
-        ``+``-joined combinations thereof, and ``postdoms-<category>``
-        exclusions.
+        ``+``-joined combinations thereof, ``postdoms-<category>``
+        exclusions, and the :data:`POLICY_ALIASES` names
+        (``control-equivalent``, ``best-heuristic``).
 
         Raises:
             ConfigurationError: If the spec is not recognized.
         """
-        spec = spec.strip()
+        spec = canonical_spec(spec)
         if spec == "postdoms":
             return SpawnPolicy("postdoms", self.postdominator_points)
         if spec.startswith("postdoms-"):
@@ -163,4 +182,6 @@ __all__ = [
     "INDIVIDUAL_POLICY_SPECS",
     "COMBINATION_POLICY_SPECS",
     "EXCLUSION_POLICY_SPECS",
+    "POLICY_ALIASES",
+    "canonical_spec",
 ]

@@ -1,0 +1,11 @@
+"""Shared pytest configuration for the repro test suite."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden trace files under tests/obs/golden/ "
+        "instead of comparing against them",
+    )

@@ -1,0 +1,72 @@
+"""End-to-end tests of the ``trace`` CLI and the observability flags."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_trace_command_writes_valid_artifacts(tmp_path, capsys):
+    trace_dir = str(tmp_path / "traces")
+    rc = main(
+        [
+            "trace",
+            "--workload",
+            "gzip",
+            "--policy",
+            "control-equivalent",
+            "--trace-dir",
+            trace_dir,
+            "--scale",
+            "0.1",
+        ]
+    )
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "spawn-point attribution" in captured.out
+
+    events_path = os.path.join(trace_dir, "gzip.postdoms.events.jsonl")
+    chrome_path = os.path.join(trace_dir, "gzip.postdoms.chrome.json")
+    assert os.path.exists(events_path)
+    assert os.path.exists(chrome_path)
+
+    with open(events_path) as handle:
+        lines = handle.read().splitlines()
+    assert json.loads(lines[0])["kind"] == "header"
+    kinds = {json.loads(line)["kind"] for line in lines[1:]}
+    assert {"task_start", "fetch", "commit", "task_commit"} <= kinds
+
+    with open(chrome_path) as handle:
+        document = json.load(handle)
+    assert document["traceEvents"], "Chrome trace has no events"
+    phases = {event["ph"] for event in document["traceEvents"]}
+    assert phases <= {"B", "E", "M", "i"}
+
+
+def test_trace_command_requires_workload_and_dir(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["trace", "--trace-dir", str(tmp_path)])
+    with pytest.raises(SystemExit):
+        main(["trace", "--workload", "gzip"])
+
+
+def test_figure_run_with_observability_flags(tmp_path, capsys):
+    plain_rc = main(["fig5", "--scale", "0.1", "--no-cache"])
+    plain = capsys.readouterr().out
+    observed_rc = main(
+        [
+            "fig5",
+            "--scale",
+            "0.1",
+            "--no-cache",
+            "--emit-metrics",
+            "--trace-dir",
+            str(tmp_path / "t"),
+        ]
+    )
+    observed = capsys.readouterr().out
+    assert plain_rc == observed_rc == 0
+    # Observability must never change figure output on stdout.
+    assert plain == observed

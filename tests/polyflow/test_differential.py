@@ -1,0 +1,88 @@
+"""Differential tests: PolyFlow commits exactly the architectural path.
+
+PolyFlow is a timing model replaying the committed-path trace produced
+by :mod:`repro.sim.functional`; whatever speculation, squashing, and
+re-fetching it performs, the *committed* instruction sequence — and
+therefore the final architectural state — must be exactly the
+functional simulator's.  The commit events of the simulation event bus
+make that directly observable: this suite runs every workload under
+the paper's two headline policies and checks the committed stream
+instruction by instruction.
+"""
+
+import pytest
+
+from repro.experiments.runner import build_core
+from repro.isa import assemble
+from repro.obs import EventBus
+from repro.polyflow import PAPER_CONFIG
+from repro.sim.functional import FunctionalSimulator
+from repro.workloads import WORKLOAD_NAMES, prepare_workload, workload_source
+
+_SCALE = 0.1
+
+#: The paper's two headline policies, by their human-readable aliases:
+#: control-equivalent spawning (postdoms) and the best heuristic
+#: combination (loop+procFT+loopFT).
+_POLICIES = ("control-equivalent", "best-heuristic")
+
+
+class _CommitCollector:
+    """Verbose bus sink recording the committed instruction stream."""
+
+    def __init__(self):
+        self.commits = []
+
+    def on_event(self, event):
+        if event.kind == "commit":
+            self.commits.append(event)
+
+
+def _committed_stream(name, policy):
+    bus = EventBus()
+    collector = bus.attach(_CommitCollector())
+    stats = build_core(name, policy, _SCALE, PAPER_CONFIG, bus=bus).run()
+    return stats, collector.commits
+
+
+@pytest.mark.parametrize("policy", _POLICIES)
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_committed_sequence_matches_functional(name, policy):
+    """The committed stream is the functional trace, in order, exactly once."""
+    prepared = prepare_workload(name, _SCALE)
+    stats, commits = _committed_stream(name, policy)
+    records = prepared.trace.records
+    assert stats.retired_instructions == len(records)
+    assert [event.trace_index for event in commits] == list(range(len(records)))
+    assert [event.pc for event in commits] == [record.inst.pc for record in records]
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_final_architectural_state_matches_functional(name):
+    """Fresh functional executions agree with the prepared trace and with
+    each other, so the state PolyFlow's committed stream implies is the
+    architectural one."""
+    program = assemble(workload_source(name, _SCALE))
+    first = FunctionalSimulator(program)
+    first_trace = first.run()
+    second = FunctionalSimulator(program)
+    second.run()
+    assert first.final_state.registers == second.final_state.registers
+    assert first.final_state.memory == second.final_state.memory
+
+    prepared = prepare_workload(name, _SCALE)
+    assert len(first_trace) == len(prepared.trace)
+    assert [record.inst.pc for record in first_trace.records] == [
+        record.inst.pc for record in prepared.trace.records
+    ]
+
+
+@pytest.mark.parametrize("name", ("gzip", "twolf", "crafty"))
+def test_policies_commit_identical_streams(name):
+    """Different spawn policies must not change *what* commits, only when."""
+    _, control = _committed_stream(name, _POLICIES[0])
+    _, heuristic = _committed_stream(name, _POLICIES[1])
+    assert [event.trace_index for event in control] == [
+        event.trace_index for event in heuristic
+    ]
+    assert [event.pc for event in control] == [event.pc for event in heuristic]

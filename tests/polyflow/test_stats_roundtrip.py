@@ -1,0 +1,80 @@
+"""Round-trip tests: no counter may silently drop out of the reports.
+
+Historically ``SimStats.as_dict()`` enumerated counters by hand and
+drifted whenever a counter was added to ``__init__`` — fetched
+instructions, i-cache stalls, and branch-kind mispredicts were all
+missing from reports at some point.  ``as_dict`` now derives its keys
+from ``vars(self)``; these tests pin that contract, and the matching
+one for the metrics aggregator's attribution tables.
+"""
+
+from repro.experiments.reporting import (
+    format_policy_attribution,
+    format_spawn_point_attribution,
+)
+from repro.obs import TOTAL_KEYS, EventBus, MetricsAggregator
+from repro.polyflow import PAPER_CONFIG, PolyFlowCore
+from repro.polyflow.stats import SimStats
+from repro.spawn import profile_spawn_points
+from repro.workloads import prepare_workload
+
+
+def _simulated_stats_and_metrics():
+    prepared = prepare_workload("twolf", 0.1)
+    policy = prepared.spawn_analysis.policy("postdoms")
+    profile = profile_spawn_points(prepared.trace, policy.points)
+    bus = EventBus()
+    aggregator = bus.attach(MetricsAggregator())
+    stats = PolyFlowCore(
+        prepared.trace, PAPER_CONFIG, profile.hint_table(policy), bus=bus
+    ).run()
+    return stats, aggregator
+
+
+def test_every_counter_attribute_appears_in_as_dict():
+    stats = SimStats()
+    exported = stats.as_dict()
+    for name in vars(stats):
+        assert name in exported, "counter {!r} missing from as_dict()".format(name)
+
+
+def test_every_counter_survives_a_simulated_run():
+    stats, _ = _simulated_stats_and_metrics()
+    exported = stats.as_dict()
+    for name, value in vars(stats).items():
+        assert name in exported
+        if name not in ("spawns_by_category", "cache_stats"):
+            assert exported[name] == value
+    # Derived values ride along.
+    for derived in (
+        "ipc",
+        "total_spawns",
+        "branch_mispredict_rate",
+        "mean_active_tasks",
+    ):
+        assert derived in exported
+
+
+def test_every_total_key_appears_in_metrics_dict_and_tables():
+    _, aggregator = _simulated_stats_and_metrics()
+    snapshot = aggregator.as_dict()
+    for key in TOTAL_KEYS:
+        assert key in snapshot["totals"], "{!r} missing from totals".format(key)
+    for origin, bucket in snapshot["origins"].items():
+        for key in TOTAL_KEYS:
+            assert key in bucket, "{!r} missing from origin {}".format(key, origin)
+
+    # Every raw (non-derived) totals column is rendered in both tables.
+    rendered_points = format_spawn_point_attribution(snapshot)
+    rendered_policies = format_policy_attribution({"postdoms": snapshot})
+    totals = snapshot["totals"]
+    for key in ("spawns", "squashes", "violations", "committed"):
+        for rendered in (rendered_points, rendered_policies):
+            assert str(totals[key]) in rendered
+
+
+def test_aggregator_render_is_the_attribution_table():
+    _, aggregator = _simulated_stats_and_metrics()
+    assert aggregator.render(title="t") == format_spawn_point_attribution(
+        aggregator.as_dict(), title="t"
+    )

@@ -1,0 +1,195 @@
+"""Property-based tests on the simulation event stream.
+
+Generated programs — engineered so speculative tasks load memory their
+older task has not stored yet — are simulated with every event kind
+recorded, and structural invariants of the stream are checked: squashes
+only hit tasks that were spawned, commits retire in order, squash
+chains never exceed the live task count, and the per-spawn-point
+aggregator tallies reconcile exactly with :class:`SimStats`.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import build_program_cfgs
+from repro.isa import assemble
+from repro.obs import EventBus, MetricsAggregator
+from repro.polyflow import MachineConfig, PolyFlowCore
+from repro.sim import run_program
+from repro.spawn import SpawnAnalysis, profile_spawn_points
+
+
+def _hammock_store_program(iterations, then_len, else_len, bits):
+    """A loop around a hammock whose arms store to an accumulator that
+    is loaded right after the join.
+
+    A hammock (or postdominator) spawn at the join starts a new task
+    whose first instruction loads the accumulator — a memory dependence
+    on a store still executing in the older task's arm, behind a serial
+    dependency chain.  The speculative load wins the race and triggers
+    a dependence violation, exercising the squash path.
+    """
+    then_chain = "\n".join("    addi r5, r5, 3" for _ in range(then_len))
+    else_chain = "\n".join("    addi r5, r5, 7" for _ in range(else_len))
+    source = """
+        .text
+        main:
+            la   r9, bits
+            la   r8, acc
+            li   r10, {iterations}
+        loop:
+            andi r11, r10, 7
+            slli r11, r11, 3
+            add  r11, r9, r11
+            lw   r2, 0(r11)
+            bne  r2, r0, arm_else
+        {then_chain}
+            sw   r5, 0(r8)
+            j    join
+        arm_else:
+        {else_chain}
+            sw   r5, 0(r8)
+        join:
+            lw   r6, 0(r8)
+            add  r7, r7, r6
+            addi r10, r10, -1
+            bne  r10, r0, loop
+            halt
+        .data
+        acc: .word 0
+        bits: .word {bits}
+    """.format(
+        iterations=iterations,
+        then_chain=then_chain,
+        else_chain=else_chain,
+        bits=", ".join(str(bit) for bit in bits),
+    )
+    return assemble(source)
+
+
+@st.composite
+def violating_programs(draw):
+    iterations = draw(st.integers(min_value=4, max_value=40))
+    then_len = draw(st.integers(min_value=2, max_value=10))
+    else_len = draw(st.integers(min_value=2, max_value=10))
+    bits = draw(st.lists(st.integers(0, 1), min_size=8, max_size=8))
+    return _hammock_store_program(iterations, then_len, else_len, bits)
+
+
+class _Recorder:
+    """Verbose sink keeping the full event stream in order."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_event(self, event):
+        self.events.append(event)
+
+
+def _simulate_with_stream(program, spec="postdoms"):
+    trace = run_program(program)
+    analysis = SpawnAnalysis(build_program_cfgs(program))
+    policy = analysis.policy(spec)
+    profile = profile_spawn_points(trace, policy.points)
+    hints = profile.hint_table(policy, min_loop_task_size=4)
+    config = MachineConfig(min_spawn_distance=2)
+    bus = EventBus()
+    recorder = bus.attach(_Recorder())
+    aggregator = bus.attach(MetricsAggregator())
+    stats = PolyFlowCore(trace, config, hints, bus=bus).run()
+    return trace, stats, recorder.events, aggregator
+
+
+def test_generated_programs_do_violate():
+    """The generator's shape really exercises the violation/squash
+    path (pinned so the suite notices if the machinery goes silent)."""
+    program = _hammock_store_program(24, 6, 10, [1, 0, 1, 0, 0, 1, 1, 0])
+    _, stats, events, _ = _simulate_with_stream(program, spec="hammock")
+    assert stats.violation_squashes > 0
+    assert any(event.kind == "violation" for event in events)
+    assert any(event.kind == "squash" for event in events)
+
+
+@given(violating_programs())
+@settings(max_examples=25, deadline=None)
+def test_every_squash_has_a_matching_spawn(program):
+    _, _, events, _ = _simulate_with_stream(program)
+    started = set()
+    spawned = set()
+    for event in events:
+        if event.kind == "task_start":
+            started.add(event.task_id)
+        elif event.kind == "spawn_accepted":
+            spawned.add(event.new_task_id)
+        elif event.kind == "squash":
+            assert event.task_id in started
+            # Only spawned (speculative) tasks can be squashed; the
+            # initial task is task 0 and is never on a squash chain.
+            assert event.task_id in spawned
+            assert event.task_id != 0
+
+
+@given(violating_programs())
+@settings(max_examples=25, deadline=None)
+def test_commit_cycles_monotone_per_task_and_in_trace_order(program):
+    trace, stats, events, _ = _simulate_with_stream(program)
+    last_cycle_by_task = {}
+    last_index = -1
+    commits = 0
+    for event in events:
+        if event.kind != "commit":
+            continue
+        commits += 1
+        assert event.trace_index == last_index + 1  # in-order retirement
+        last_index = event.trace_index
+        previous = last_cycle_by_task.get(event.task_id)
+        if previous is not None:
+            assert event.cycle >= previous
+        last_cycle_by_task[event.task_id] = event.cycle
+    assert commits == stats.retired_instructions == len(trace)
+
+
+@given(violating_programs())
+@settings(max_examples=25, deadline=None)
+def test_squash_chain_depth_bounded_by_active_tasks(program):
+    """A squash chain can never be deeper than the tasks alive when it
+    fires.  Squashed tasks are rolled back and restarted, not
+    destroyed, so only ``task_commit`` retires a task."""
+    _, _, events, _ = _simulate_with_stream(program)
+    active = set()
+    for event in events:
+        if event.kind == "task_start":
+            active.add(event.task_id)
+        elif event.kind == "task_commit":
+            active.discard(event.task_id)
+        elif event.kind == "squash":
+            assert event.task_id in active
+            assert 1 <= event.chain_depth <= len(active)
+
+
+@given(violating_programs())
+@settings(max_examples=25, deadline=None)
+def test_every_started_task_commits_exactly_once(program):
+    """Squashes rewind tasks rather than destroying them, so every
+    started task eventually merges/commits exactly once."""
+    _, stats, events, _ = _simulate_with_stream(program)
+    starts = [event.task_id for event in events if event.kind == "task_start"]
+    commits = [event.task_id for event in events if event.kind == "task_commit"]
+    assert len(starts) == len(set(starts)) == stats.tasks_created
+    assert sorted(commits) == sorted(starts)
+
+
+@given(violating_programs())
+@settings(max_examples=25, deadline=None)
+def test_aggregator_reconciles_with_sim_stats(program):
+    _, stats, _, aggregator = _simulate_with_stream(program)
+    totals = aggregator.totals()
+    assert totals["committed"] == stats.retired_instructions
+    assert totals["spawns"] == stats.total_spawns
+    assert totals["violations"] == stats.violation_squashes
+    assert totals["squashed_instructions"] == stats.squashed_instructions
+    # Per-origin commit counts sum to the stats total as well.
+    assert (
+        sum(bucket["committed"] for bucket in aggregator.per_origin().values())
+        == stats.retired_instructions
+    )
