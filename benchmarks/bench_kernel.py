@@ -1,0 +1,317 @@
+#!/usr/bin/env python
+"""Timing-kernel throughput benchmark and regression gate.
+
+Measures committed-instructions/sec of the PolyFlow cycle-level kernel
+on the gzip/mcf/vortex trio, serially and under a ``--jobs 4`` process
+fan-out, and emits the results as ``BENCH_polyflow.json``.  The
+checked-in copy of that file at the repository root is the performance
+baseline: CI re-runs this harness with ``--check BENCH_polyflow.json``
+and fails when throughput regresses more than the gate tolerance
+(default 15%).
+
+Cross-machine comparability: every run also measures a fixed
+pure-Python calibration loop (``machine_index``).  The ``--check`` gate
+compares *normalized* throughput (ips / machine_index), so a slower CI
+runner does not read as a kernel regression.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py --output BENCH_polyflow.json
+    PYTHONPATH=src python benchmarks/bench_kernel.py --baseline old.json \
+        --output BENCH_polyflow.json
+    PYTHONPATH=src python benchmarks/bench_kernel.py --check BENCH_polyflow.json
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+#: Schema version of the emitted JSON.
+SCHEMA = 1
+
+#: The benchmark trio (chosen in the ISSUE: one branchy compressor, one
+#: pointer-chasing workload with violation squashes, one call-heavy OO
+#: workload).
+WORKLOADS = ("gzip", "mcf", "vortex")
+
+#: Policy under which throughput is measured.
+POLICY = "control-equivalent"
+
+DEFAULT_SCALE = 0.5
+DEFAULT_REPEATS = 5
+DEFAULT_JOBS = 4
+DEFAULT_TOLERANCE = 0.15
+
+#: Iterations of the calibration loop.
+_CALIBRATION_N = 2_000_000
+
+
+def machine_index(repeats=3):
+    """Operations/sec of a fixed pure-Python loop (best of ``repeats``).
+
+    Used to normalize committed-instructions/sec across machines of
+    different single-core speed before applying the regression gate.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        total = 0
+        for i in range(_CALIBRATION_N):
+            total += i * i
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return _CALIBRATION_N / best
+
+
+def measure_serial(scale, repeats):
+    """Best-of-``repeats`` kernel throughput per workload, in-process.
+
+    Workload preparation (functional execution + static analyses) is
+    warmed outside the timed region: the benchmark isolates the
+    cycle-level timing kernel, which is what the fast path targets.
+    """
+    from repro.experiments.runner import build_core
+    from repro.polyflow import PAPER_CONFIG
+    from repro.workloads import prepare_workload
+
+    results = {}
+    for name in WORKLOADS:
+        prepared = prepare_workload(name, scale)
+        instructions = len(prepared.trace)
+        best = float("inf")
+        for _ in range(repeats):
+            core = build_core(name, POLICY, scale, PAPER_CONFIG)
+            started = time.perf_counter()
+            stats = core.run()
+            elapsed = time.perf_counter() - started
+            if stats.retired_instructions != instructions:
+                raise AssertionError(
+                    "retired {} != trace length {}".format(
+                        stats.retired_instructions, instructions
+                    )
+                )
+            best = min(best, elapsed)
+        results[name] = {
+            "instructions": instructions,
+            "seconds": best,
+            "ips": instructions / best,
+        }
+    total_instructions = sum(entry["instructions"] for entry in results.values())
+    total_seconds = sum(entry["seconds"] for entry in results.values())
+    return {
+        "per_workload": results,
+        "instructions": total_instructions,
+        "seconds": total_seconds,
+        "aggregate_ips": total_instructions / total_seconds,
+    }
+
+
+def measure_jobs(scale, jobs, repeats):
+    """Best-of-``repeats`` end-to-end wall throughput under a fan-out.
+
+    Each repeat builds a fresh :class:`ParallelExperimentRunner` (no
+    disk cache) and prefetches the trio, so the measurement includes
+    worker startup and in-worker preparation — the figure-generation
+    path as users experience it.
+    """
+    from repro.experiments.parallel import ParallelExperimentRunner
+    from repro.workloads import prepare_workload
+
+    total_instructions = sum(
+        len(prepare_workload(name, scale).trace) for name in WORKLOADS
+    )
+    best = float("inf")
+    for _ in range(repeats):
+        runner = ParallelExperimentRunner(
+            scale=scale, workload_names=WORKLOADS, jobs=jobs
+        )
+        started = time.perf_counter()
+        simulated = runner.prefetch([(name, POLICY) for name in WORKLOADS])
+        elapsed = time.perf_counter() - started
+        if simulated != len(WORKLOADS):
+            raise AssertionError(
+                "expected {} simulations, ran {}".format(len(WORKLOADS), simulated)
+            )
+        best = min(best, elapsed)
+    return {
+        "jobs": jobs,
+        "instructions": total_instructions,
+        "wall_seconds": best,
+        "ips": total_instructions / best,
+    }
+
+
+def run_benchmark(scale, repeats, jobs, jobs_repeats=3, skip_jobs=False):
+    """One full measurement: calibration, serial trio, jobs fan-out."""
+    report = {
+        "schema": SCHEMA,
+        "workloads": list(WORKLOADS),
+        "policy": POLICY,
+        "scale": scale,
+        "repeats": repeats,
+        "python": "{}.{}.{}".format(*sys.version_info[:3]),
+        "machine_index": machine_index(),
+        "serial": measure_serial(scale, repeats),
+    }
+    if not skip_jobs:
+        report["jobs4"] = measure_jobs(scale, jobs, jobs_repeats)
+    return report
+
+
+def speedup_vs_baseline(report, baseline):
+    """Normalized serial/jobs4 speedups of ``report`` over ``baseline``."""
+    speedups = {}
+    ratio = report["machine_index"] / baseline["machine_index"]
+    speedups["serial"] = (
+        report["serial"]["aggregate_ips"]
+        / baseline["serial"]["aggregate_ips"]
+        / ratio
+    )
+    if "jobs4" in report and "jobs4" in baseline:
+        speedups["jobs4"] = (
+            report["jobs4"]["ips"] / baseline["jobs4"]["ips"] / ratio
+        )
+    return speedups
+
+
+def check_regression(report, reference, tolerance):
+    """Gate: normalized throughput must not trail ``reference`` by more
+    than ``tolerance``.  Returns a list of failure strings (empty = pass).
+    """
+    failures = []
+    ratio = report["machine_index"] / reference["machine_index"]
+    checks = [
+        (
+            "serial",
+            report["serial"]["aggregate_ips"],
+            reference["serial"]["aggregate_ips"],
+        )
+    ]
+    if "jobs4" in report and "jobs4" in reference:
+        checks.append(("jobs4", report["jobs4"]["ips"], reference["jobs4"]["ips"]))
+    for label, measured, expected in checks:
+        normalized = measured / ratio
+        floor = expected * (1.0 - tolerance)
+        if normalized < floor:
+            failures.append(
+                "{}: normalized {:.0f} ips < floor {:.0f} ips "
+                "(reference {:.0f}, tolerance {:.0%}, machine ratio {:.2f})".format(
+                    label, normalized, floor, expected, tolerance, ratio
+                )
+            )
+    return failures
+
+
+def render(report):
+    lines = [
+        "kernel throughput (scale {}, policy {}):".format(
+            report["scale"], report["policy"]
+        )
+    ]
+    for name, entry in report["serial"]["per_workload"].items():
+        lines.append(
+            "  {:>8}  {:>8} instr  {:>7.3f}s  {:>9.0f} ips".format(
+                name, entry["instructions"], entry["seconds"], entry["ips"]
+            )
+        )
+    lines.append(
+        "  {:>8}  {:>8} instr  {:>7.3f}s  {:>9.0f} ips".format(
+            "serial",
+            report["serial"]["instructions"],
+            report["serial"]["seconds"],
+            report["serial"]["aggregate_ips"],
+        )
+    )
+    if "jobs4" in report:
+        jobs = report["jobs4"]
+        lines.append(
+            "  {:>8}  {:>8} instr  {:>7.3f}s  {:>9.0f} ips (end-to-end, {} workers)".format(
+                "jobs4",
+                jobs["instructions"],
+                jobs["wall_seconds"],
+                jobs["ips"],
+                jobs["jobs"],
+            )
+        )
+    if "speedup_vs_baseline" in report:
+        lines.append(
+            "  vs baseline: "
+            + ", ".join(
+                "{} {:.2f}x".format(label, value)
+                for label, value in report["speedup_vs_baseline"].items()
+            )
+        )
+    lines.append("  machine index: {:.0f}".format(report["machine_index"]))
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS)
+    parser.add_argument(
+        "--skip-jobs", action="store_true", help="skip the --jobs fan-out measurement"
+    )
+    parser.add_argument("--output", help="write the report JSON here")
+    parser.add_argument(
+        "--baseline",
+        help="a previous report; its numbers are embedded under 'baseline' "
+        "and normalized speedups are computed",
+    )
+    parser.add_argument(
+        "--check",
+        help="a reference report (the checked-in BENCH_polyflow.json); "
+        "exit non-zero when normalized throughput regresses beyond "
+        "the tolerance",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_GATE_TOLERANCE", DEFAULT_TOLERANCE)),
+        help="allowed fractional regression for --check (default 0.15; "
+        "env BENCH_GATE_TOLERANCE overrides)",
+    )
+    arguments = parser.parse_args(argv)
+
+    report = run_benchmark(
+        arguments.scale,
+        arguments.repeats,
+        arguments.jobs,
+        skip_jobs=arguments.skip_jobs,
+    )
+
+    if arguments.baseline:
+        with open(arguments.baseline) as handle:
+            baseline = json.load(handle)
+        report["baseline"] = baseline
+        report["speedup_vs_baseline"] = speedup_vs_baseline(report, baseline)
+
+    print(render(report))
+
+    if arguments.output:
+        with open(arguments.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote {}".format(arguments.output))
+
+    if arguments.check:
+        with open(arguments.check) as handle:
+            reference = json.load(handle)
+        failures = check_regression(report, reference, arguments.tolerance)
+        if failures:
+            for failure in failures:
+                print("REGRESSION {}".format(failure), file=sys.stderr)
+            return 1
+        print(
+            "gate passed (tolerance {:.0%} vs {})".format(
+                arguments.tolerance, arguments.check
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

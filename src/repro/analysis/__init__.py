@@ -1,4 +1,10 @@
-"""Static analyses: dominance, control dependence, loops, dataflow."""
+"""Static analyses: dominance, control dependence, loops, dataflow.
+
+:mod:`repro.analysis.pipeline` layers a content-keyed cache over the
+whole per-program pipeline (assemble, execute, profile jumps, build
+CFGs, classify spawn points) so each program is analysed exactly once
+per process.
+"""
 
 from repro.analysis.control_dependence import (
     ControlDependenceGraph,
@@ -18,8 +24,26 @@ from repro.analysis.dominance import (
     immediate_postdominator_block,
 )
 from repro.analysis.loops import Loop, LoopForest, find_natural_loops
+from repro.analysis.pipeline import (
+    AnalysisCache,
+    ProgramAnalyses,
+    analyses_for_source,
+    clear_shared_cache,
+    compute_analyses,
+    configure_disk_cache,
+    shared_cache,
+    source_digest,
+)
 
 __all__ = [
+    "AnalysisCache",
+    "ProgramAnalyses",
+    "analyses_for_source",
+    "clear_shared_cache",
+    "compute_analyses",
+    "configure_disk_cache",
+    "shared_cache",
+    "source_digest",
     "DominatorTree",
     "compute_dominator_tree",
     "compute_immediate_dominators",

@@ -30,6 +30,7 @@ import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 
+from repro.analysis.pipeline import configure_disk_cache
 from repro.experiments.runner import ExperimentRunner, build_core, simulate_job
 from repro.polyflow.config import config_fingerprint
 from repro.spawn import canonical_spec
@@ -41,6 +42,22 @@ CACHE_FORMAT_VERSION = 2
 
 #: Default cache directory used by the CLI (gitignored).
 DEFAULT_CACHE_DIR = ".polyflow-cache"
+
+#: Subdirectory of the cache directory holding persisted program
+#: analyses (see :mod:`repro.analysis.pipeline`).
+ANALYSIS_CACHE_SUBDIR = "analysis"
+
+
+def _init_worker(analysis_dir):
+    """Worker-process initializer: enable the on-disk analysis layer.
+
+    Runs once per pool process.  With a cache directory configured,
+    workers load each program's analyses (trace, CFGs, spawn points)
+    from disk instead of re-running the pipeline per process — the
+    first worker to need a program computes and persists it.
+    """
+    if analysis_dir is not None:
+        configure_disk_cache(analysis_dir)
 
 
 def job_digest(name, spec, scale, config, profile_distance):
@@ -280,6 +297,13 @@ class ParallelExperimentRunner(ExperimentRunner):
         super().__init__(scale=scale, **keyword_arguments)
         self.jobs = max(1, int(jobs))
         self.cache = ResultCache(cache_dir) if cache_dir else None
+        #: Where persisted program analyses live; enables the shared
+        #: analysis cache's disk layer in this process and in workers.
+        self.analysis_dir = (
+            os.path.join(cache_dir, ANALYSIS_CACHE_SUBDIR) if cache_dir else None
+        )
+        if self.analysis_dir is not None:
+            configure_disk_cache(self.analysis_dir)
         self.summary = RunSummary()
         #: Attach a verbose MetricsAggregator to every simulation and
         #: collect the per-policy snapshots in :attr:`summary`.
@@ -408,7 +432,11 @@ class ParallelExperimentRunner(ExperimentRunner):
 
     def _fan_out(self, pending):
         workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as executor:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(self.analysis_dir,),
+        ) as executor:
             futures = {
                 executor.submit(
                     _execute_job,

@@ -16,7 +16,7 @@ fan-out and the on-disk result cache layered on top.
 from repro.polyflow import PAPER_CONFIG, PolyFlowCore, superscalar_config
 from repro.polyflow.config import config_fingerprint
 from repro.polyflow.stats import speedup_percent
-from repro.spawn import canonical_spec, profile_spawn_points
+from repro.spawn import canonical_spec
 from repro.spawn.hints import HintTable
 from repro.workloads import WORKLOAD_NAMES, prepare_workload
 
@@ -28,33 +28,29 @@ REC_PRED_SPEC = "rec_pred"
 #: always pass the *PolyFlow* configuration alongside this spec.
 SUPERSCALAR_SPEC = "superscalar"
 
-#: Process-local memo of spawn profiles, keyed by
-#: ``(workload name, scale, max profiled spawn distance)``.  Worker
-#: processes run several policy specs of the same workload; the profile
-#: over the union of spawn points is shared among all of them.
-_PROFILE_CACHE = {}
-
-
 def spawn_profile(name, scale, max_spawn_distance):
-    """The spawn profile of one workload (process-local memo).
+    """The spawn profile of one workload (memoized per program).
 
     The profile covers the union of postdominator and loop spawn
-    points, so every policy's hint table can be derived from it.
+    points, so every policy's hint table can be derived from it.  The
+    per-distance memo lives on the workload's shared
+    :class:`~repro.analysis.pipeline.ProgramAnalyses`, so worker
+    processes running several policy specs of the same workload — and
+    runners at different scales that build identical program text —
+    all share one profile.
     """
-    key = (name, scale, max_spawn_distance)
-    if key not in _PROFILE_CACHE:
-        prepared = prepare_workload(name, scale)
-        analysis = prepared.spawn_analysis
-        points = list(analysis.postdominator_points) + list(analysis.loop_points)
-        _PROFILE_CACHE[key] = profile_spawn_points(
-            prepared.trace, points, max_spawn_distance
-        )
-    return _PROFILE_CACHE[key]
+    return prepare_workload(name, scale).spawn_profile(max_spawn_distance)
 
 
 def clear_profile_cache():
-    """Drop all memoized spawn profiles (mainly for tests)."""
-    _PROFILE_CACHE.clear()
+    """Drop all memoized spawn profiles (mainly for tests).
+
+    Profiles are memoized on the shared program analyses, so this
+    delegates to :func:`repro.workloads.clear_cache`.
+    """
+    from repro.workloads import clear_cache
+
+    clear_cache()
 
 
 def build_core(name, spec, scale, config, profile_distance=None, bus=None):

@@ -25,6 +25,14 @@ Model summary (see DESIGN.md section 6 for the full rationale):
 The head (oldest) task gets small reserved shares of the ROB and
 scheduler so that it can always make forward progress (younger tasks
 can never starve the non-speculative task into deadlock).
+
+The per-cycle loops run on the flat pre-decoded arrays of
+:meth:`~repro.sim.trace.Trace.decoded` (see :mod:`repro.sim.predecode`)
+rather than the trace's record/instruction objects: fetch, dependence
+checks, issue and commit index parallel lists of plain ints, which is
+what makes the kernel fast in pure Python.  The decoded view is a pure
+function of the trace, so behaviour is unchanged — the golden-trace
+suite pins the event streams byte for byte.
 """
 
 import heapq
@@ -52,9 +60,17 @@ from repro.polyflow.dependences import StoreSetPredictor
 from repro.polyflow.spawn_unit import SpawnUnit
 from repro.polyflow.stats import SimStats
 from repro.polyflow.task import Task
+from repro.sim.predecode import (
+    KIND_CALL_DIRECT,
+    KIND_CALL_INDIRECT,
+    KIND_COND_BRANCH,
+    KIND_RETURN,
+    KIND_SWITCH,
+    LAT_LOAD,
+    LAT_MUL,
+    LAT_STORE,
+)
 from repro.spawn.hints import HintTable
-
-_RA = 31
 
 # Instruction states.
 _FREE = 0
@@ -73,6 +89,21 @@ _EV_READY = 1
 _HEAD_ROB_RESERVE = 32
 #: Scheduler entries only the head task may use.
 _HEAD_SCHED_RESERVE = 8
+
+#: The pipeline-stage methods that make up the staged reference engine.
+#: A subclass overriding any of them (tests use this to probe per-cycle
+#: invariants) opts the instance out of the fused fast loop.
+_STAGE_HOOKS = (
+    "_process_events",
+    "_resolve_waiting_branch",
+    "_retire",
+    "_drain_divert_queue",
+    "_enter_scheduler",
+    "_issue",
+    "_fetch",
+    "_fetch_from_task",
+    "_schedule",
+)
 
 
 class PolyFlowCore:
@@ -97,6 +128,22 @@ class PolyFlowCore:
         self.spawn_unit = SpawnUnit(trace, self.hint_table, config)
         count = len(trace)
         self.max_cycles = max_cycles if max_cycles is not None else 400 * count + 10_000
+        # Flat pre-decoded views of the trace (shared across runs of the
+        # same trace); every per-cycle loop below indexes these instead
+        # of walking record.inst attribute chains.
+        decoded = trace.decoded()
+        self._pcs = decoded.pc
+        self._kinds = decoded.kind
+        self._lats = decoded.lat
+        self._takens = decoded.taken
+        self._next_pcs = decoded.next_pc
+        self._fall_throughs = decoded.fall_through
+        self._mem_addrs = decoded.mem_addr
+        self._mem_deps = decoded.mem_dep
+        self._dep0 = decoded.dep0
+        self._dep1 = decoded.dep1
+        line_address = self.hierarchy.l1i.line_address
+        self._lines = [line_address(pc) for pc in self._pcs]
         # Per-trace-index dynamic state.
         self._state = bytearray(count)
         self._gen = [0] * count
@@ -123,16 +170,60 @@ class PolyFlowCore:
     # -- public API ------------------------------------------------------------
 
     def run(self):
-        """Simulate the whole trace; returns the :class:`SimStats`."""
+        """Simulate the whole trace; returns the :class:`SimStats`.
+
+        Two observably identical engines back this method: the fused
+        fast loop (:meth:`_run_fast`, all five pipeline stages inlined
+        over the flat decoded arrays) and the staged reference loop
+        (:meth:`_run_staged`, one method per stage).  Instances whose
+        class overrides a stage hook — or whose spawn unit overrides
+        :meth:`~repro.polyflow.spawn_unit.SpawnUnit.spawn_target` —
+        run staged; everything else takes the fast path.  The
+        engine-equivalence tests pin that both produce identical event
+        streams and statistics.
+        """
         if not len(self.trace):
             return self.stats
         if self.config.warm_caches:
             self._warm_caches()
         initial = self._new_task(0)
         self._tasks.append(initial)
-        self.bus.emit(
-            TaskStarted(0, initial.task_id, 0, self.trace.records[0].inst.pc, None)
-        )
+        self.bus.emit(TaskStarted(0, initial.task_id, 0, self._pcs[0], None))
+        if self._stage_hooks_overridden():
+            self._run_staged()
+        else:
+            self._run_fast()
+        count = len(self.trace)
+        while self._tasks:
+            # The tail task (and only it) is never popped by retire;
+            # close out its lifetime so sinks see a balanced stream.
+            task = self._tasks.popleft()
+            self._emit_task_commit(task, count)
+        self.stats.cycles = self._cycle
+        self.stats.cache_stats = self.hierarchy.statistics()
+        return self.stats
+
+    def _stage_hooks_overridden(self):
+        """Whether this instance must run the staged reference engine."""
+        unit = type(self.spawn_unit)
+        if unit.spawn_target is not SpawnUnit.spawn_target:
+            return True
+        cls = type(self)
+        if cls is PolyFlowCore:
+            return False
+        for name in _STAGE_HOOKS:
+            if getattr(cls, name) is not getattr(PolyFlowCore, name):
+                return True
+        return False
+
+    def _run_staged(self):
+        """The staged reference engine: one method call per stage.
+
+        This is the readable specification of the cycle loop; the fast
+        engine (:meth:`_run_fast`) is a fused transcription of exactly
+        these stages.  Keep the two in lockstep — the equivalence suite
+        compares their event streams byte for byte.
+        """
         count = len(self.trace)
         while self._retire_ptr < count:
             self._cycle += 1
@@ -148,14 +239,660 @@ class PolyFlowCore:
             self._issue()
             self._fetch()
             self.stats.task_occupancy_sum += len(self._tasks)
-        while self._tasks:
-            # The tail task (and only it) is never popped by retire;
-            # close out its lifetime so sinks see a balanced stream.
-            task = self._tasks.popleft()
-            self._emit_task_commit(task, count)
-        self.stats.cycles = self._cycle
-        self.stats.cache_stats = self.hierarchy.statistics()
-        return self.stats
+
+    def _run_fast(self):
+        """The fused fast loop: all pipeline stages inlined.
+
+        Every hot structure is bound to a local once per run and the
+        per-cycle stage bodies run back to back without method
+        dispatch; rare paths (violations, spawns, verbose emission)
+        call back into the shared helper methods after syncing the
+        mutable scalars they read.  Observable behaviour must match
+        :meth:`_run_staged` exactly.
+        """
+        config = self.config
+        bus = self.bus
+        stats = self.stats
+        state = self._state
+        gen = self._gen
+        wait_count = self._wait_count
+        earliest = self._earliest
+        fetch_cycle = self._fetch_cycle
+        owner = self._owner
+        sched_used = self._sched_used
+        dependents = self._dependents
+        divert_producer_map = self._divert_producers
+        unsafe_mem = self._unsafe_mem
+        tasks = self._tasks
+        events = self._events
+        heap = self._ready_heap
+        fifo = self._divert_fifo
+        pcs = self._pcs
+        kinds = self._kinds
+        lats = self._lats
+        takens = self._takens
+        next_pcs = self._next_pcs
+        fall_throughs = self._fall_throughs
+        lines = self._lines
+        mem_addrs = self._mem_addrs
+        mem_deps = self._mem_deps
+        dep0 = self._dep0
+        dep1 = self._dep1
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        fetch_latency = self.hierarchy.fetch_latency
+        data_latency = self.hierarchy.data_latency
+        gshare_update = self.gshare.predict_and_update
+        indirect_update = self.indirect_predictor.predict_and_update
+        predicts_dependence = self.store_sets.predicts_dependence
+        spawn_unit = self.spawn_unit
+        spawn_target_of = spawn_unit.spawn_target
+        record_task_instructions = spawn_unit.record_task_instructions
+        spawn_targets = spawn_unit.resolved_targets()
+        suppressed = spawn_unit.suppressed_triggers_live()
+
+        width = config.width
+        units = config.functional_units
+        mul_latency = config.mul_latency
+        mispredict_penalty = config.mispredict_penalty
+        frontend_latency = config.frontend_latency
+        quota = config.scheduler_per_task_quota
+        max_tasks = config.max_tasks
+        nested = config.nested_spawns
+        fetch_ports = config.fetch_tasks_per_cycle
+        rob_entries = config.rob_entries
+        sched_entries = config.scheduler_entries
+        divert_entries = config.divert_queue_entries
+        shared_rob_cap = rob_entries - _HEAD_ROB_RESERVE
+        shared_sched_cap = sched_entries - _HEAD_SCHED_RESERVE
+        release_state = _WAIT if config.divert_release == "dispatch" else _DONE
+
+        count = len(pcs)
+        max_cycles = self.max_cycles
+        cycle = self._cycle
+        retire_ptr = self._retire_ptr
+        rob_occupancy = self._rob_occupancy
+        sched_occupancy = self._sched_occupancy
+        divert_occupancy = self._divert_occupancy
+
+        # Stage counters flushed to SimStats when the loop exits.
+        retired_total = 0
+        fetched_total = 0
+        diverted_total = 0
+        occupancy_sum = 0
+        icache_stalls = 0
+        cond_branches = 0
+        branch_misses = 0
+        indirect_misses = 0
+        return_misses = 0
+
+        def enter_scheduler(index):
+            # Inlined transcription of _enter_scheduler; mirrors the
+            # rs-then-rt (duplicates included) producer registration.
+            nonlocal sched_occupancy
+            generation = gen[index]
+            pending = 0
+            producer = dep0[index]
+            if producer >= 0 and state[producer] < _DONE:
+                bucket = dependents.get(producer)
+                if bucket is None:
+                    dependents[producer] = [(index, generation)]
+                else:
+                    bucket.append((index, generation))
+                pending += 1
+            producer = dep1[index]
+            if producer >= 0 and state[producer] < _DONE:
+                bucket = dependents.get(producer)
+                if bucket is None:
+                    dependents[producer] = [(index, generation)]
+                else:
+                    bucket.append((index, generation))
+                pending += 1
+            if lats[index] == LAT_LOAD:
+                producer = mem_deps[index]
+                if (
+                    producer >= 0
+                    and index not in unsafe_mem
+                    and state[producer] < _DONE
+                ):
+                    bucket = dependents.get(producer)
+                    if bucket is None:
+                        dependents[producer] = [(index, generation)]
+                    else:
+                        bucket.append((index, generation))
+                    pending += 1
+            sched_occupancy += 1
+            task_owner = owner[index]
+            sched_used[task_owner] = sched_used.get(task_owner, 0) + 1
+            wait_count[index] = pending
+            if pending:
+                state[index] = _WAIT
+            else:
+                state[index] = _READY
+                ready_at = earliest[index]
+                if ready_at <= cycle:
+                    ready_at = cycle + 1
+                entry = (_EV_READY, index, generation)
+                bucket = events.get(ready_at)
+                if bucket is None:
+                    events[ready_at] = [entry]
+                else:
+                    bucket.append(entry)
+
+        try:
+            while retire_ptr < count:
+                cycle += 1
+                self._cycle = cycle
+                if cycle > max_cycles:
+                    raise SimulationError(
+                        "no forward progress after {} cycles (retired {}/{})".format(
+                            max_cycles, retire_ptr, count
+                        )
+                    )
+                verbose = bus.verbose
+
+                # ---- process events ------------------------------------
+                bucket = events.pop(cycle, None)
+                if bucket is not None:
+                    for kind, index, generation in bucket:
+                        if gen[index] != generation:
+                            continue
+                        if kind == _EV_READY:
+                            if state[index] == _READY:
+                                heappush(heap, index)
+                            continue
+                        # Completion.
+                        if state[index] != _EXEC:
+                            continue
+                        state[index] = _DONE
+                        for task in tasks:
+                            if task.waiting_branch_index == index:
+                                resume = fetch_cycle[index] + mispredict_penalty
+                                if resume < cycle + 1:
+                                    resume = cycle + 1
+                                task.waiting_branch_index = None
+                                task.fetch_stall_until = resume
+                                break
+                        consumers = dependents.pop(index, None)
+                        if not consumers:
+                            continue
+                        for consumer, consumer_gen in consumers:
+                            if (
+                                gen[consumer] != consumer_gen
+                                or state[consumer] != _WAIT
+                            ):
+                                continue
+                            pending = wait_count[consumer] - 1
+                            wait_count[consumer] = pending
+                            if pending == 0:
+                                state[consumer] = _READY
+                                ready_at = earliest[consumer]
+                                if ready_at <= cycle:
+                                    ready_at = cycle + 1
+                                entry = (_EV_READY, consumer, consumer_gen)
+                                ready_bucket = events.get(ready_at)
+                                if ready_bucket is None:
+                                    events[ready_at] = [entry]
+                                else:
+                                    ready_bucket.append(entry)
+
+                # ---- retire --------------------------------------------
+                if state[retire_ptr] == _DONE:
+                    retired = 0
+                    while retired < width and retire_ptr < count:
+                        index = retire_ptr
+                        if state[index] != _DONE:
+                            break
+                        state[index] = _RETIRED
+                        rob_occupancy -= 1
+                        retire_ptr = index + 1
+                        retired += 1
+                        head = tasks[0]
+                        head.in_flight -= 1
+                        if verbose:
+                            point = head.spawn_point
+                            bus.emit(
+                                InstructionCommitted(
+                                    cycle,
+                                    head.task_id,
+                                    index,
+                                    pcs[index],
+                                    point.trigger_pc if point is not None else None,
+                                )
+                            )
+                        head_end = head.end_index
+                        if head_end is not None and retire_ptr >= head_end:
+                            tasks.popleft()
+                            self._emit_task_commit(head, head_end)
+                    retired_total += retired
+
+                # ---- drain divert queue --------------------------------
+                if fifo:
+                    oldest = retire_ptr
+                    if state[oldest] == _DIVERT:
+                        blocked = False
+                        for producer in divert_producer_map[oldest]:
+                            if state[producer] < _WAIT:
+                                blocked = True
+                                break
+                        if not blocked:
+                            oldest_gen = gen[oldest]
+                            for position, entry in enumerate(fifo):
+                                if entry[0] == oldest and entry[1] == oldest_gen:
+                                    del fifo[position]
+                                    break
+                            del divert_producer_map[oldest]
+                            divert_occupancy -= 1
+                            enter_scheduler(oldest)
+                    if fifo:
+                        moved = 0
+                        scanned = 0
+                        head = tasks[0] if tasks else None
+                        head_end = head.end_index if head is not None else None
+                        index_in_fifo = 0
+                        while index_in_fifo < len(fifo) and scanned < 64:
+                            entry_index, entry_gen = fifo[index_in_fifo]
+                            scanned += 1
+                            if (
+                                gen[entry_index] != entry_gen
+                                or state[entry_index] != _DIVERT
+                            ):
+                                # Squashed entry: lazily delete.
+                                del fifo[index_in_fifo]
+                                continue
+                            blocked = False
+                            for producer in divert_producer_map[entry_index]:
+                                if state[producer] < release_state:
+                                    blocked = True
+                                    break
+                            if blocked:
+                                index_in_fifo += 1
+                                continue
+                            owned_by_head = head is not None and (
+                                head_end is None or entry_index < head_end
+                            )
+                            cap = sched_entries if owned_by_head else shared_sched_cap
+                            if sched_occupancy >= cap:
+                                index_in_fifo += 1
+                                continue
+                            if not owned_by_head and (
+                                sched_used.get(owner[entry_index], 0) >= quota
+                            ):
+                                index_in_fifo += 1
+                                continue
+                            del fifo[index_in_fifo]
+                            del divert_producer_map[entry_index]
+                            divert_occupancy -= 1
+                            enter_scheduler(entry_index)
+                            moved += 1
+                            if moved >= width:
+                                break
+
+                # ---- issue ---------------------------------------------
+                if heap:
+                    issued = 0
+                    deferred = None
+                    while heap and issued < units:
+                        index = heappop(heap)
+                        if state[index] != _READY:
+                            continue
+                        if earliest[index] > cycle:
+                            if deferred is None:
+                                deferred = [index]
+                            else:
+                                deferred.append(index)
+                            continue
+                        lat = lats[index]
+                        if lat == LAT_LOAD:
+                            unsafe_producer = unsafe_mem.get(index)
+                            if (
+                                unsafe_producer is not None
+                                and state[unsafe_producer] < _DONE
+                            ):
+                                self._rob_occupancy = rob_occupancy
+                                self._sched_occupancy = sched_occupancy
+                                self._divert_occupancy = divert_occupancy
+                                self._handle_violation(index, unsafe_producer)
+                                rob_occupancy = self._rob_occupancy
+                                sched_occupancy = self._sched_occupancy
+                                divert_occupancy = self._divert_occupancy
+                                # The violator (and the heap contents
+                                # from younger tasks) were squashed;
+                                # issue no more this cycle.
+                                break
+                            latency = data_latency(mem_addrs[index])
+                        elif lat == LAT_STORE:
+                            data_latency(mem_addrs[index])
+                            latency = 1
+                        elif lat == LAT_MUL:
+                            latency = mul_latency
+                        else:
+                            latency = 1
+                        state[index] = _EXEC
+                        sched_occupancy -= 1
+                        sched_used[owner[index]] -= 1
+                        complete_at = cycle + latency
+                        entry = (_EV_COMPLETE, index, gen[index])
+                        complete_bucket = events.get(complete_at)
+                        if complete_bucket is None:
+                            events[complete_at] = [entry]
+                        else:
+                            complete_bucket.append(entry)
+                        issued += 1
+                    if deferred is not None:
+                        for index in deferred:
+                            heappush(heap, index)
+
+                # ---- fetch ---------------------------------------------
+                # Biased-ICount arbitration, inlined for the standard
+                # one- and two-port configurations: the oldest
+                # fetch-ready task takes the first port, the lowest
+                # (in_flight, age) candidate among the rest the second.
+                first = None
+                second = None
+                second_key = None
+                if fetch_ports <= 2:
+                    position = 0
+                    for task in tasks:
+                        if (
+                            task.waiting_branch_index is None
+                            and cycle >= task.fetch_stall_until
+                            and (
+                                task.end_index is None
+                                or task.fetch_index < task.end_index
+                            )
+                        ):
+                            if first is None:
+                                first = task
+                            else:
+                                key = (task.in_flight, position)
+                                if second_key is None or key < second_key:
+                                    second_key = key
+                                    second = task
+                        position += 1
+                    if fetch_ports == 1:
+                        second = None
+                    if first is None:
+                        selected = ()
+                        share = width
+                    elif second is None:
+                        selected = (first,)
+                        share = width
+                    else:
+                        selected = (first, second)
+                        share = width // 2
+                else:  # nonstandard port counts: generic arbitration
+                    candidates = []
+                    position = 0
+                    for task in tasks:
+                        if task.can_fetch(cycle):
+                            candidates.append((task.task_id, task.in_flight, position))
+                        position += 1
+                    if candidates:
+                        chosen = select_fetch_tasks(
+                            candidates, fetch_ports, config.head_bias
+                        )
+                        by_id = {task.task_id: task for task in tasks}
+                        selected = tuple(by_id[task_id] for task_id in chosen)
+                        share = width // max(len(selected), 1)
+                    else:
+                        selected = ()
+                        share = width
+
+                for task in selected:
+                    budget = share
+                    is_head = task is tasks[0]
+                    if is_head:
+                        rob_cap = rob_entries
+                        sched_cap = sched_entries
+                    else:
+                        rob_cap = shared_rob_cap
+                        sched_cap = shared_sched_cap
+                    task_id = task.task_id
+                    start = task.start_index
+                    ras = task.ras
+                    point = task.spawn_point
+                    spawn_trigger = point.trigger_pc if point is not None else None
+                    burst_instructions = 0
+                    burst_diverts = 0
+
+                    while budget > 0:
+                        index = task.fetch_index
+                        if index >= count:
+                            break
+                        end_index = task.end_index
+                        if end_index is not None and index >= end_index:
+                            break
+                        if rob_occupancy >= rob_cap:
+                            break
+                        pc = pcs[index]
+
+                        # Instruction cache: one access per new line.
+                        line = lines[index]
+                        if line != task.last_fetch_line:
+                            latency = fetch_latency(pc)
+                            task.last_fetch_line = line
+                            if latency > 1:
+                                task.fetch_stall_until = cycle + latency
+                                icache_stalls += latency - 1
+                                break
+
+                        # Decide the dispatch target (see the staged
+                        # _fetch_from_task for the full rationale).
+                        producers = None
+                        unsafe_producer = None
+                        producer = dep0[index]
+                        if 0 <= producer < start and state[producer] < _DONE:
+                            producers = [producer]
+                        producer = dep1[index]
+                        if 0 <= producer < start and state[producer] < _DONE:
+                            if producers is None:
+                                producers = [producer]
+                            else:
+                                producers.append(producer)
+                        if lats[index] == LAT_LOAD:
+                            mem_producer = mem_deps[index]
+                            if (
+                                0 <= mem_producer < start
+                                and state[mem_producer] < _DONE
+                            ):
+                                if predicts_dependence(pcs[mem_producer], pc):
+                                    if producers is None:
+                                        producers = [mem_producer]
+                                    else:
+                                        producers.append(mem_producer)
+                                else:
+                                    unsafe_producer = mem_producer
+
+                        # Check the dispatch target's capacity.
+                        if producers is not None:
+                            if divert_occupancy >= divert_entries:
+                                break
+                        else:
+                            if sched_occupancy >= sched_cap:
+                                break
+                            if (
+                                not is_head
+                                and sched_used.get(task_id, 0) >= quota
+                            ):
+                                break
+
+                        # Consume the instruction.
+                        task.fetch_index = index + 1
+                        task.in_flight += 1
+                        rob_occupancy += 1
+                        generation = gen[index] + 1
+                        gen[index] = generation
+                        owner[index] = task_id
+                        fetch_cycle[index] = cycle
+                        earliest[index] = cycle + frontend_latency
+                        fetched_total += 1
+                        if unsafe_producer is not None:
+                            unsafe_mem[index] = unsafe_producer
+                        budget -= 1
+                        if verbose:
+                            bus.emit(
+                                InstructionFetched(
+                                    cycle, task_id, index, pc, spawn_trigger
+                                )
+                            )
+
+                        if producers is not None:
+                            state[index] = _DIVERT
+                            divert_occupancy += 1
+                            divert_producer_map[index] = producers
+                            fifo.append((index, generation))
+                            diverted_total += 1
+                            if spawn_trigger is not None:
+                                burst_instructions += 1
+                                burst_diverts += 1
+                        else:
+                            # Inlined scheduler entry (the closure
+                            # above is the shared transcription; this
+                            # is the same body on the hottest path).
+                            pending = 0
+                            producer = dep0[index]
+                            if producer >= 0 and state[producer] < _DONE:
+                                dep_bucket = dependents.get(producer)
+                                if dep_bucket is None:
+                                    dependents[producer] = [(index, generation)]
+                                else:
+                                    dep_bucket.append((index, generation))
+                                pending += 1
+                            producer = dep1[index]
+                            if producer >= 0 and state[producer] < _DONE:
+                                dep_bucket = dependents.get(producer)
+                                if dep_bucket is None:
+                                    dependents[producer] = [(index, generation)]
+                                else:
+                                    dep_bucket.append((index, generation))
+                                pending += 1
+                            if lats[index] == LAT_LOAD:
+                                producer = mem_deps[index]
+                                if (
+                                    producer >= 0
+                                    and index not in unsafe_mem
+                                    and state[producer] < _DONE
+                                ):
+                                    dep_bucket = dependents.get(producer)
+                                    if dep_bucket is None:
+                                        dependents[producer] = [
+                                            (index, generation)
+                                        ]
+                                    else:
+                                        dep_bucket.append((index, generation))
+                                    pending += 1
+                            sched_occupancy += 1
+                            sched_used[task_id] = sched_used.get(task_id, 0) + 1
+                            wait_count[index] = pending
+                            if pending:
+                                state[index] = _WAIT
+                            else:
+                                state[index] = _READY
+                                ready_at = earliest[index]
+                                if ready_at <= cycle:
+                                    ready_at = cycle + 1
+                                entry = (_EV_READY, index, generation)
+                                ready_bucket = events.get(ready_at)
+                                if ready_bucket is None:
+                                    events[ready_at] = [entry]
+                                else:
+                                    ready_bucket.append(entry)
+                            if spawn_trigger is not None:
+                                burst_instructions += 1
+
+                        # Spawning (see the staged loop for rationale).
+                        if len(tasks) < max_tasks:
+                            if task.end_index is None and task is tasks[-1]:
+                                if verbose:
+                                    target = spawn_target_of(index, pc)
+                                    self._emit_spawn_decision(task, index, pc, target)
+                                    if target >= 0:
+                                        self._spawn(task, pc, target, index)
+                                else:
+                                    target = spawn_targets[index]
+                                    if target >= 0 and pc not in suppressed:
+                                        self._spawn(task, pc, target, index)
+                            elif nested and task.end_index is not None:
+                                target = spawn_target_of(index, pc)
+                                if 0 <= target < task.end_index:
+                                    if verbose:
+                                        self._emit_spawn_decision(
+                                            task, index, pc, target
+                                        )
+                                    self._spawn_nested(task, pc, target, index)
+                                elif verbose:
+                                    self._emit_spawn_decision(
+                                        task, index, pc, target,
+                                        rejected="outside-segment"
+                                        if target >= 0
+                                        else None,
+                                    )
+                            elif verbose:
+                                target = spawn_target_of(index, pc)
+                                if target >= 0:
+                                    self._emit_spawn_decision(
+                                        task, index, pc, target, rejected="not-tail"
+                                    )
+                        elif verbose:
+                            target = spawn_target_of(index, pc)
+                            if target >= 0:
+                                self._emit_spawn_decision(
+                                    task, index, pc, target, rejected="task-limit"
+                                )
+
+                        # Control flow effects on fetch.
+                        kind = kinds[index]
+                        if kind:
+                            if kind == KIND_COND_BRANCH:
+                                cond_branches += 1
+                                taken = takens[index]
+                                if gshare_update(pc, taken) != taken:
+                                    branch_misses += 1
+                                    task.waiting_branch_index = index
+                                    break
+                                if taken:
+                                    break  # one taken branch per cycle
+                            else:
+                                if kind == KIND_CALL_DIRECT:
+                                    ras.push(fall_throughs[index])
+                                elif kind == KIND_CALL_INDIRECT:
+                                    ras.push(fall_throughs[index])
+                                    if not indirect_update(pc, next_pcs[index]):
+                                        indirect_misses += 1
+                                        task.waiting_branch_index = index
+                                elif kind == KIND_RETURN:
+                                    if ras.pop() != next_pcs[index]:
+                                        return_misses += 1
+                                        task.waiting_branch_index = index
+                                elif kind == KIND_SWITCH:
+                                    if not indirect_update(pc, next_pcs[index]):
+                                        indirect_misses += 1
+                                        task.waiting_branch_index = index
+                                # Every non-branch transfer ends the
+                                # fetch stream.
+                                break
+
+                    if burst_instructions:
+                        record_task_instructions(
+                            spawn_trigger, burst_instructions, burst_diverts
+                        )
+
+                occupancy_sum += len(tasks)
+        finally:
+            self._retire_ptr = retire_ptr
+            self._rob_occupancy = rob_occupancy
+            self._sched_occupancy = sched_occupancy
+            self._divert_occupancy = divert_occupancy
+            stats.retired_instructions += retired_total
+            stats.fetched_instructions += fetched_total
+            stats.diverted_instructions += diverted_total
+            stats.task_occupancy_sum += occupancy_sum
+            stats.icache_stall_cycles += icache_stalls
+            stats.conditional_branches += cond_branches
+            stats.branch_mispredicts += branch_misses
+            stats.indirect_mispredicts += indirect_misses
+            stats.return_mispredicts += return_misses
 
     # -- helpers ---------------------------------------------------------------
 
@@ -169,15 +906,20 @@ class PolyFlowCore:
         cache level keep missing during measurement.
         """
         hierarchy = self.hierarchy
-        l1i = hierarchy.l1i
+        fetch_latency = hierarchy.fetch_latency
+        data_latency = hierarchy.data_latency
+        pcs = self._pcs
+        lines = self._lines
+        lats = self._lats
+        mem_addrs = self._mem_addrs
         last_line = None
-        for record in self.trace.records:
-            line = l1i.line_address(record.inst.pc)
+        for index in range(len(pcs)):
+            line = lines[index]
             if line != last_line:
-                hierarchy.fetch_latency(record.inst.pc)
+                fetch_latency(pcs[index])
                 last_line = line
-            if record.mem_keys:
-                hierarchy.data_latency(record.mem_keys[0] << 3)
+            if lats[index] >= LAT_LOAD:
+                data_latency(mem_addrs[index])
         hierarchy.reset_statistics()
 
     def _new_task(self, start_index, spawn_point=None):
@@ -200,7 +942,7 @@ class PolyFlowCore:
                 self._cycle,
                 task.task_id,
                 task.start_index,
-                self.trace.records[task.start_index].inst.pc,
+                self._pcs[task.start_index],
                 self._origin_of(task),
                 task.start_index,
                 end_index,
@@ -215,32 +957,36 @@ class PolyFlowCore:
             return
         state = self._state
         gen = self._gen
+        wait_count = self._wait_count
+        earliest = self._earliest
+        dependents = self._dependents
+        heap = self._ready_heap
+        cycle = self._cycle
+        push = heapq.heappush
         for kind, index, generation in events:
             if gen[index] != generation:
                 continue
             if kind == _EV_READY:
                 if state[index] == _READY:
-                    heapq.heappush(self._ready_heap, index)
+                    push(heap, index)
                 continue
             # Completion.
             if state[index] != _EXEC:
                 continue
             state[index] = _DONE
             self._resolve_waiting_branch(index)
-            consumers = self._dependents.pop(index, None)
+            consumers = dependents.pop(index, None)
             if not consumers:
                 continue
             for consumer, consumer_gen in consumers:
                 if gen[consumer] != consumer_gen or state[consumer] != _WAIT:
                     continue
-                self._wait_count[consumer] -= 1
-                if self._wait_count[consumer] == 0:
+                pending = wait_count[consumer] - 1
+                wait_count[consumer] = pending
+                if pending == 0:
                     state[consumer] = _READY
-                    ready_at = max(self._cycle + 1, self._earliest[consumer])
-                    if ready_at <= self._cycle:
-                        heapq.heappush(self._ready_heap, consumer)
-                    else:
-                        self._schedule(ready_at, _EV_READY, consumer)
+                    ready_at = max(cycle + 1, earliest[consumer])
+                    self._schedule(ready_at, _EV_READY, consumer)
 
     def _resolve_waiting_branch(self, index):
         for task in self._tasks:
@@ -276,7 +1022,7 @@ class PolyFlowCore:
                         self._cycle,
                         head.task_id,
                         index,
-                        self.trace.records[index].inst.pc,
+                        self._pcs[index],
                         self._origin_of(head),
                     )
                 )
@@ -353,26 +1099,30 @@ class PolyFlowCore:
 
     def _enter_scheduler(self, index):
         """Move a (diverted or fresh) instruction into the scheduler."""
-        record = self.trace.records[index]
         state = self._state
+        dependents = self._dependents
+        generation = self._gen[index]
         pending = 0
-        for producer in record.reg_deps:
-            if producer >= 0 and state[producer] < _DONE:
-                self._dependents.setdefault(producer, []).append(
-                    (index, self._gen[index])
-                )
-                pending += 1
-        mem_producer = record.mem_dep
-        if (
-            record.inst.is_load
-            and mem_producer >= 0
-            and index not in self._unsafe_mem
-            and state[mem_producer] < _DONE
-        ):
-            self._dependents.setdefault(mem_producer, []).append(
-                (index, self._gen[index])
-            )
+        # Source-register producers in rs-then-rt order; a duplicated
+        # producer (rs == rt) registers twice, exactly like the record's
+        # reg_deps tuple.
+        producer = self._dep0[index]
+        if producer >= 0 and state[producer] < _DONE:
+            dependents.setdefault(producer, []).append((index, generation))
             pending += 1
+        producer = self._dep1[index]
+        if producer >= 0 and state[producer] < _DONE:
+            dependents.setdefault(producer, []).append((index, generation))
+            pending += 1
+        if self._lats[index] == LAT_LOAD:
+            mem_producer = self._mem_deps[index]
+            if (
+                mem_producer >= 0
+                and index not in self._unsafe_mem
+                and state[mem_producer] < _DONE
+            ):
+                dependents.setdefault(mem_producer, []).append((index, generation))
+                pending += 1
         self._sched_occupancy += 1
         owner = self._owner[index]
         self._sched_used[owner] = self._sched_used.get(owner, 0) + 1
@@ -389,37 +1139,45 @@ class PolyFlowCore:
         if not heap:
             return
         state = self._state
+        earliest = self._earliest
+        lats = self._lats
+        mem_addrs = self._mem_addrs
+        data_latency = self.hierarchy.data_latency
+        cycle = self._cycle
+        sched_used = self._sched_used
+        owner = self._owner
+        mul_latency = self.config.mul_latency
         issued = 0
         units = self.config.functional_units
         deferred = []
+        pop = heapq.heappop
         while heap and issued < units:
-            index = heapq.heappop(heap)
+            index = pop(heap)
             if state[index] != _READY:
                 continue
-            if self._earliest[index] > self._cycle:
+            if earliest[index] > cycle:
                 deferred.append(index)
                 continue
-            record = self.trace.records[index]
-            inst = record.inst
-            if inst.is_load:
+            lat = lats[index]
+            if lat == LAT_LOAD:
                 unsafe_producer = self._unsafe_mem.get(index)
                 if unsafe_producer is not None and state[unsafe_producer] < _DONE:
                     self._handle_violation(index, unsafe_producer)
                     # The violator (and the heap contents from younger
                     # tasks) were squashed; issue no more this cycle.
                     break
-                latency = self.hierarchy.data_latency(record.mem_keys[0] << 3)
-            elif inst.is_store:
-                self.hierarchy.data_latency(record.mem_keys[0] << 3)
+                latency = data_latency(mem_addrs[index])
+            elif lat == LAT_STORE:
+                data_latency(mem_addrs[index])
                 latency = 1
-            elif inst.latency_class == "mul":
-                latency = self.config.mul_latency
+            elif lat == LAT_MUL:
+                latency = mul_latency
             else:
                 latency = 1
             state[index] = _EXEC
             self._sched_occupancy -= 1
-            self._sched_used[self._owner[index]] -= 1
-            self._schedule(self._cycle + latency, _EV_COMPLETE, index)
+            sched_used[owner[index]] -= 1
+            self._schedule(cycle + latency, _EV_COMPLETE, index)
             issued += 1
         for index in deferred:
             heapq.heappush(heap, index)
@@ -436,9 +1194,8 @@ class PolyFlowCore:
         )
 
     def _handle_violation(self, load_index, store_index):
-        records = self.trace.records
-        store_pc = records[store_index].inst.pc
-        load_pc = records[load_index].inst.pc
+        store_pc = self._pcs[store_index]
+        load_pc = self._pcs[load_index]
         self.store_sets.train_violation(store_pc, load_pc)
         position = self._task_position_of_index(load_index)
         violator = self._tasks[position]
@@ -461,7 +1218,7 @@ class PolyFlowCore:
         """Squash tasks[position:] and rewind their fetch."""
         state = self._state
         gen = self._gen
-        records = self.trace.records
+        pcs = self._pcs
         chain = list(self._tasks)[position:]
         chain_depth = len(chain)
         for task in chain:
@@ -488,7 +1245,7 @@ class PolyFlowCore:
                     self._cycle,
                     task.task_id,
                     task.start_index,
-                    records[task.start_index].inst.pc,
+                    pcs[task.start_index],
                     self._origin_of(task),
                     cause,
                     chain_depth,
@@ -519,104 +1276,163 @@ class PolyFlowCore:
             self._fetch_from_task(by_id[task_id], share)
 
     def _fetch_from_task(self, task, budget):
-        records = self.trace.records
         state = self._state
+        gen = self._gen
         config = self.config
         cycle = self._cycle
         bus = self.bus
         verbose = bus.verbose
+        stats = self.stats
+        tasks = self._tasks
+        spawn_unit = self.spawn_unit
         task_origin = self._origin_of(task)
-        is_head = task is self._tasks[0]
+        is_head = task is tasks[0]
         rob_cap = config.rob_entries
         sched_cap = config.scheduler_entries
         divert_cap = config.divert_queue_entries
         if not is_head:
             rob_cap -= _HEAD_ROB_RESERVE
             sched_cap -= _HEAD_SCHED_RESERVE
-        count = len(records)
+        # Flat decoded arrays and hot locals.
+        pcs = self._pcs
+        kinds = self._kinds
+        lats = self._lats
+        takens = self._takens
+        next_pcs = self._next_pcs
+        fall_throughs = self._fall_throughs
+        lines = self._lines
+        dep0 = self._dep0
+        dep1 = self._dep1
+        mem_deps = self._mem_deps
+        owner = self._owner
+        fetch_cycle = self._fetch_cycle
+        earliest = self._earliest
+        sched_used = self._sched_used
+        unsafe_mem = self._unsafe_mem
+        divert_producer_map = self._divert_producers
+        divert_fifo = self._divert_fifo
+        fetch_latency = self.hierarchy.fetch_latency
+        predicts_dependence = self.store_sets.predicts_dependence
+        gshare_update = self.gshare.predict_and_update
+        indirect_update = self.indirect_predictor.predict_and_update
+        record_task_instruction = spawn_unit.record_task_instruction
+        spawn_targets = spawn_unit.resolved_targets()
+        suppressed = spawn_unit.suppressed_triggers_live()
+        count = len(pcs)
+        start = task.start_index
+        task_id = task.task_id
+        frontend_latency = config.frontend_latency
+        quota = config.scheduler_per_task_quota
+        max_tasks = config.max_tasks
+        nested = config.nested_spawns
+        ras = task.ras
+        spawn_trigger = (
+            task.spawn_point.trigger_pc if task.spawn_point is not None else None
+        )
 
         while budget > 0:
             index = task.fetch_index
             if index >= count:
                 break
-            if task.end_index is not None and index >= task.end_index:
+            end_index = task.end_index
+            if end_index is not None and index >= end_index:
                 break
             if self._rob_occupancy >= rob_cap:
                 break
-            record = records[index]
-            inst = record.inst
-            pc = inst.pc
+            pc = pcs[index]
 
             # Instruction cache: one access per new line.
-            line = self.hierarchy.l1i.line_address(pc)
+            line = lines[index]
             if line != task.last_fetch_line:
-                latency = self.hierarchy.fetch_latency(pc)
+                latency = fetch_latency(pc)
                 task.last_fetch_line = line
                 if latency > 1:
                     task.fetch_stall_until = cycle + latency
-                    self.stats.icache_stall_cycles += latency - 1
+                    stats.icache_stall_cycles += latency - 1
                     break
 
-            # Decide dispatch target and check its capacity.
-            divert_producers, unsafe_producer = self._inter_task_producers(
-                record, task
-            )
-            if divert_producers is not None:
+            # Decide the dispatch target.  Register dependences on older
+            # tasks always divert (hint-predicted); memory dependences
+            # divert only when the store-set predictor has learned the
+            # pair — otherwise the load speculates past the older-task
+            # store (risking a violation squash).
+            producers = None
+            unsafe_producer = None
+            producer = dep0[index]
+            if 0 <= producer < start and state[producer] < _DONE:
+                producers = [producer]
+            producer = dep1[index]
+            if 0 <= producer < start and state[producer] < _DONE:
+                if producers is None:
+                    producers = [producer]
+                else:
+                    producers.append(producer)
+            if lats[index] == LAT_LOAD:
+                mem_producer = mem_deps[index]
+                if 0 <= mem_producer < start and state[mem_producer] < _DONE:
+                    if predicts_dependence(pcs[mem_producer], pc):
+                        if producers is None:
+                            producers = [mem_producer]
+                        else:
+                            producers.append(mem_producer)
+                    else:
+                        unsafe_producer = mem_producer
+
+            # Check the dispatch target's capacity.
+            if producers is not None:
                 if self._divert_occupancy >= divert_cap:
                     break
             else:
                 if self._sched_occupancy >= sched_cap:
                     break
-                if (
-                    not is_head
-                    and self._sched_used.get(task.task_id, 0)
-                    >= config.scheduler_per_task_quota
-                ):
+                if not is_head and sched_used.get(task_id, 0) >= quota:
                     break
 
             # Consume the instruction.
             task.fetch_index = index + 1
             task.in_flight += 1
             self._rob_occupancy += 1
-            self._gen[index] += 1
-            self._owner[index] = task.task_id
-            self._fetch_cycle[index] = cycle
-            self._earliest[index] = cycle + config.frontend_latency
-            self.stats.fetched_instructions += 1
+            gen[index] += 1
+            owner[index] = task_id
+            fetch_cycle[index] = cycle
+            earliest[index] = cycle + frontend_latency
+            stats.fetched_instructions += 1
             if unsafe_producer is not None:
-                self._unsafe_mem[index] = unsafe_producer
+                unsafe_mem[index] = unsafe_producer
             budget -= 1
             if verbose:
                 bus.emit(
-                    InstructionFetched(cycle, task.task_id, index, pc, task_origin)
+                    InstructionFetched(cycle, task_id, index, pc, task_origin)
                 )
 
-            if divert_producers is not None:
+            if producers is not None:
                 state[index] = _DIVERT
                 self._divert_occupancy += 1
-                self._divert_producers[index] = divert_producers
-                self._divert_fifo.append((index, self._gen[index]))
-                self.stats.diverted_instructions += 1
+                divert_producer_map[index] = producers
+                divert_fifo.append((index, gen[index]))
+                stats.diverted_instructions += 1
             else:
                 self._enter_scheduler(index)
-            if task.spawn_point is not None:
-                self.spawn_unit.record_task_instruction(
-                    task.spawn_point.trigger_pc, divert_producers is not None
-                )
+            if spawn_trigger is not None:
+                record_task_instruction(spawn_trigger, producers is not None)
 
             # Spawning: the tail task extends the task list; with the
             # nested-spawns extension (the paper's future work), a
             # non-tail task may additionally split its own segment to
             # spawn past an inner branch.
-            if len(self._tasks) < config.max_tasks:
-                if task.end_index is None and task is self._tasks[-1]:
-                    target = self.spawn_unit.spawn_target(index, pc)
+            if len(tasks) < max_tasks:
+                if task.end_index is None and task is tasks[-1]:
                     if verbose:
+                        target = spawn_unit.spawn_target(index, pc)
                         self._emit_spawn_decision(task, index, pc, target)
-                    if target >= 0:
-                        self._spawn(task, pc, target, index)
-                elif config.nested_spawns and task.end_index is not None:
-                    target = self.spawn_unit.spawn_target(index, pc)
+                        if target >= 0:
+                            self._spawn(task, pc, target, index)
+                    else:
+                        target = spawn_targets[index]
+                        if target >= 0 and pc not in suppressed:
+                            self._spawn(task, pc, target, index)
+                elif nested and task.end_index is not None:
+                    target = spawn_unit.spawn_target(index, pc)
                     if 0 <= target < task.end_index:
                         if verbose:
                             self._emit_spawn_decision(task, index, pc, target)
@@ -627,89 +1443,50 @@ class PolyFlowCore:
                             rejected="outside-segment" if target >= 0 else None,
                         )
                 elif verbose:
-                    target = self.spawn_unit.spawn_target(index, pc)
+                    target = spawn_unit.spawn_target(index, pc)
                     if target >= 0:
                         self._emit_spawn_decision(
                             task, index, pc, target, rejected="not-tail"
                         )
             elif verbose:
-                target = self.spawn_unit.spawn_target(index, pc)
+                target = spawn_unit.spawn_target(index, pc)
                 if target >= 0:
                     self._emit_spawn_decision(
                         task, index, pc, target, rejected="task-limit"
                     )
 
             # Control flow effects on fetch.
-            if inst.is_conditional_branch:
-                self.stats.conditional_branches += 1
-                prediction = self.gshare.predict_and_update(pc, record.taken)
-                if prediction != record.taken:
-                    self.stats.branch_mispredicts += 1
-                    task.waiting_branch_index = index
+            kind = kinds[index]
+            if kind:
+                if kind == KIND_COND_BRANCH:
+                    stats.conditional_branches += 1
+                    taken = takens[index]
+                    if gshare_update(pc, taken) != taken:
+                        stats.branch_mispredicts += 1
+                        task.waiting_branch_index = index
+                        break
+                    if taken:
+                        break  # one taken branch per task per cycle
+                else:
+                    if kind == KIND_CALL_DIRECT:
+                        ras.push(fall_throughs[index])
+                    elif kind == KIND_CALL_INDIRECT:
+                        ras.push(fall_throughs[index])
+                        if not indirect_update(pc, next_pcs[index]):
+                            stats.indirect_mispredicts += 1
+                            task.waiting_branch_index = index
+                    elif kind == KIND_RETURN:
+                        if ras.pop() != next_pcs[index]:
+                            stats.return_mispredicts += 1
+                            task.waiting_branch_index = index
+                    elif kind == KIND_SWITCH:
+                        if not indirect_update(pc, next_pcs[index]):
+                            stats.indirect_mispredicts += 1
+                            task.waiting_branch_index = index
+                    # Every non-branch transfer (calls, returns,
+                    # switches, direct jumps) ends the fetch stream.
                     break
-                if record.taken:
-                    break  # one taken branch per task per cycle
-            elif inst.is_call:
-                task.ras.push(inst.fall_through_pc())
-                if inst.is_indirect_jump:
-                    if not self.indirect_predictor.predict_and_update(
-                        pc, record.next_pc
-                    ):
-                        self.stats.indirect_mispredicts += 1
-                        task.waiting_branch_index = index
-                break
-            elif inst.is_return_like:
-                if inst.rs == _RA:
-                    predicted = task.ras.pop()
-                    if predicted != record.next_pc:
-                        self.stats.return_mispredicts += 1
-                        task.waiting_branch_index = index
-                else:
-                    if not self.indirect_predictor.predict_and_update(
-                        pc, record.next_pc
-                    ):
-                        self.stats.indirect_mispredicts += 1
-                        task.waiting_branch_index = index
-                break
-            elif inst.is_direct_jump:
-                break  # taken transfer; direct targets predict perfectly
         return budget
-
-    def _inter_task_producers(self, record, task):
-        """Producers that force this instruction into the divert queue.
-
-        Returns ``(producers, unsafe_producer)``.  ``producers`` is a
-        list of trace indices the instruction must divert on, or None
-        when it may dispatch straight into the scheduler.  Register
-        dependences on older tasks always divert (hint-predicted);
-        memory dependences divert only when the store-set predictor has
-        learned the pair — otherwise ``unsafe_producer`` names the
-        older-task store the load will speculate past (risking a
-        violation squash).
-        """
-        start = task.start_index
-        state = self._state
-        producers = None
-        unsafe_producer = None
-        for producer in record.reg_deps:
-            if producer >= 0 and producer < start and state[producer] < _DONE:
-                if producers is None:
-                    producers = [producer]
-                else:
-                    producers.append(producer)
-        if record.inst.is_load:
-            mem_producer = record.mem_dep
-            if mem_producer >= 0 and mem_producer < start:
-                if state[mem_producer] < _DONE:
-                    store_pc = self.trace.records[mem_producer].inst.pc
-                    if self.store_sets.predicts_dependence(store_pc, record.inst.pc):
-                        if producers is None:
-                            producers = [mem_producer]
-                        else:
-                            producers.append(mem_producer)
-                    else:
-                        unsafe_producer = mem_producer
-        return producers, unsafe_producer
 
     def _emit_spawn_decision(self, task, index, pc, target, rejected=None):
         """Verbose-only bookkeeping of one spawn-unit consultation.
@@ -758,7 +1535,7 @@ class PolyFlowCore:
                 self._cycle,
                 new_task.task_id,
                 new_task.start_index,
-                self.trace.records[new_task.start_index].inst.pc,
+                self._pcs[new_task.start_index],
                 trigger_pc,
             )
         )

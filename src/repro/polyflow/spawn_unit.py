@@ -68,6 +68,27 @@ class SpawnUnit:
             return -1
         return target
 
+    def resolved_targets(self):
+        """The live per-trace-index resolved-target list.
+
+        ``resolved_targets()[i]`` is the start index a spawn triggered
+        at trace index ``i`` would use, or -1; it is what
+        :meth:`spawn_target` consults before the suppression filter.
+        The core's fetch loop indexes this directly (together with
+        :meth:`suppressed_triggers_live`) on its non-verbose fast path.
+        """
+        return self._target_index
+
+    def suppressed_triggers_live(self):
+        """The live suppression set (mutated by :meth:`record_squash`).
+
+        Unlike :meth:`suppressed_triggers` this is not a snapshot: the
+        returned set identity is stable for the unit's lifetime, so the
+        fetch loop can hold it across :meth:`record_squash` calls.
+        Callers must not mutate it.
+        """
+        return self._suppressed
+
     def hint_for(self, pc):
         """The hint entry of the trigger at ``pc``, or None."""
         return self.hint_table.lookup(pc)
@@ -101,6 +122,16 @@ class SpawnUnit:
         self._task_instructions[trigger_pc] += 1
         if diverted:
             self._task_diverts[trigger_pc] += 1
+
+    def record_task_instructions(self, trigger_pc, count, diverted):
+        """Batched :meth:`record_task_instruction`.
+
+        Counts ``count`` task instructions of which ``diverted`` went
+        through the divert queue — the fused fetch loop accumulates one
+        burst's worth and flushes it in a single call.
+        """
+        self._task_instructions[trigger_pc] += count
+        self._task_diverts[trigger_pc] += diverted
 
     def divert_fraction(self, trigger_pc):
         """Fraction of a trigger's task instructions that diverted."""

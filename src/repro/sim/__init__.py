@@ -7,6 +7,7 @@ from repro.sim.functional import (
     run_program,
 )
 from repro.sim.limits import LimitStudyResult, limit_study, limit_study_for_workload
+from repro.sim.predecode import DecodedTrace, decode_program, decode_trace
 from repro.sim.trace import Trace, TraceRecord
 
 __all__ = [
@@ -15,6 +16,9 @@ __all__ = [
     "run_program",
     "Trace",
     "TraceRecord",
+    "DecodedTrace",
+    "decode_trace",
+    "decode_program",
     "DEFAULT_MAX_INSTRUCTIONS",
     "LimitStudyResult",
     "limit_study",

@@ -10,10 +10,50 @@ source of truth and the timing models replay its trace.
 
 from repro.errors import ExecutionError
 from repro.isa.instructions import INSTRUCTION_BYTES, NUM_REGISTERS, Opcode
+from repro.sim.predecode import decode_program
 from repro.sim.trace import Trace, TraceRecord
 
 _WORD_MASK = (1 << 64) - 1
 _SIGN_BIT = 1 << 63
+
+# Plain-int opcode constants: the interpreter dispatches on these to
+# avoid IntEnum comparison overhead in the per-instruction loop.  The
+# Opcode values are contiguous, so range checks select operand classes.
+_ADD = int(Opcode.ADD)
+_SUB = int(Opcode.SUB)
+_MUL = int(Opcode.MUL)
+_AND = int(Opcode.AND)
+_OR = int(Opcode.OR)
+_XOR = int(Opcode.XOR)
+_SLT = int(Opcode.SLT)
+_SLL = int(Opcode.SLL)
+_SRL = int(Opcode.SRL)
+_ADDI = int(Opcode.ADDI)
+_ANDI = int(Opcode.ANDI)
+_ORI = int(Opcode.ORI)
+_XORI = int(Opcode.XORI)
+_SLTI = int(Opcode.SLTI)
+_SLLI = int(Opcode.SLLI)
+_SRLI = int(Opcode.SRLI)
+_LUI = int(Opcode.LUI)
+_LW = int(Opcode.LW)
+_LH = int(Opcode.LH)
+_LB = int(Opcode.LB)
+_SW = int(Opcode.SW)
+_SH = int(Opcode.SH)
+_SB = int(Opcode.SB)
+_BEQ = int(Opcode.BEQ)
+_BNE = int(Opcode.BNE)
+_BGEZ = int(Opcode.BGEZ)
+_BGTZ = int(Opcode.BGTZ)
+_BLEZ = int(Opcode.BLEZ)
+_BLTZ = int(Opcode.BLTZ)
+_J = int(Opcode.J)
+_JAL = int(Opcode.JAL)
+_JR = int(Opcode.JR)
+_JALR = int(Opcode.JALR)
+_NOP = int(Opcode.NOP)
+_HALT = int(Opcode.HALT)
 
 #: Default cap on executed instructions, to catch runaway programs.
 DEFAULT_MAX_INSTRUCTIONS = 5_000_000
@@ -80,6 +120,11 @@ class FunctionalSimulator:
     def run(self):
         """Execute the program and return its :class:`Trace`.
 
+        The interpreter walks the pre-decoded flat operand records of
+        :func:`~repro.sim.predecode.decode_program`, so the hot loop
+        dispatches on plain ints and never touches instruction
+        attributes.
+
         Raises:
             ExecutionError: On an invalid PC, a memory access outside the
                 positive address space, or other illegal behaviour.
@@ -87,12 +132,16 @@ class FunctionalSimulator:
         program = self.program
         state = MachineState(program)
         registers = state.registers
-        fetch = program.fetch
+        decoded = decode_program(program)
+        fetch_entry = decoded.get
+        load = state.load
+        store = state.store
 
         records = []
         append = records.append
         reg_last_writer = [-1] * NUM_REGISTERS
         mem_last_writer = {}
+        last_mem_writer = mem_last_writer.get
 
         pc = state.pc
         seq = 0
@@ -100,129 +149,132 @@ class FunctionalSimulator:
         max_instructions = self.max_instructions
 
         while seq < max_instructions:
-            inst = fetch(pc)
-            opcode = inst.opcode
+            entry = fetch_entry(pc)
+            if entry is None:
+                raise ExecutionError("fetch from invalid PC {:#x}".format(pc))
+            opcode, rd, rs, rt, imm, target, nsrc, inst = entry
             next_pc = pc + INSTRUCTION_BYTES
             taken = False
             mem_keys = ()
             mem_dep = -1
 
-            if opcode <= Opcode.SRL:  # ALU register-register
-                a = registers[inst.rs]
-                b = registers[inst.rt]
-                if opcode == Opcode.ADD:
+            if opcode <= _SRL:  # ALU register-register
+                a = registers[rs]
+                b = registers[rt]
+                if opcode == _ADD:
                     value = a + b
-                elif opcode == Opcode.SUB:
+                elif opcode == _SUB:
                     value = a - b
-                elif opcode == Opcode.MUL:
+                elif opcode == _MUL:
                     value = _to_signed(a) * _to_signed(b)
-                elif opcode == Opcode.AND:
+                elif opcode == _AND:
                     value = a & b
-                elif opcode == Opcode.OR:
+                elif opcode == _OR:
                     value = a | b
-                elif opcode == Opcode.XOR:
+                elif opcode == _XOR:
                     value = a ^ b
-                elif opcode == Opcode.SLT:
+                elif opcode == _SLT:
                     value = 1 if _to_signed(a) < _to_signed(b) else 0
-                elif opcode == Opcode.SLL:
+                elif opcode == _SLL:
                     value = a << (b & 63)
                 else:  # SRL
                     value = a >> (b & 63)
-                if inst.rd:
-                    registers[inst.rd] = value & _WORD_MASK
-            elif opcode <= Opcode.SRLI:  # ALU register-immediate
-                a = registers[inst.rs]
-                imm = inst.imm
-                if opcode == Opcode.ADDI:
+                if rd:
+                    registers[rd] = value & _WORD_MASK
+            elif opcode <= _SRLI:  # ALU register-immediate
+                a = registers[rs]
+                if opcode == _ADDI:
                     value = a + imm
-                elif opcode == Opcode.ANDI:
+                elif opcode == _ANDI:
                     value = a & imm
-                elif opcode == Opcode.ORI:
+                elif opcode == _ORI:
                     value = a | imm
-                elif opcode == Opcode.XORI:
+                elif opcode == _XORI:
                     value = a ^ imm
-                elif opcode == Opcode.SLTI:
+                elif opcode == _SLTI:
                     value = 1 if _to_signed(a) < imm else 0
-                elif opcode == Opcode.SLLI:
+                elif opcode == _SLLI:
                     value = a << (imm & 63)
                 else:  # SRLI
                     value = a >> (imm & 63)
-                if inst.rd:
-                    registers[inst.rd] = value & _WORD_MASK
-            elif opcode == Opcode.LUI:
-                if inst.rd:
-                    registers[inst.rd] = (inst.imm << 16) & _WORD_MASK
-            elif inst.is_load:
-                address = (registers[inst.rs] + inst.imm) & _WORD_MASK
-                nbytes = 8 if opcode == Opcode.LW else (2 if opcode == Opcode.LH else 1)
-                value = state.load(address, nbytes)
-                if inst.rd:
-                    registers[inst.rd] = value
-                mem_keys = _chunk_keys(address, nbytes)
+                if rd:
+                    registers[rd] = value & _WORD_MASK
+            elif opcode == _LUI:
+                if rd:
+                    registers[rd] = (imm << 16) & _WORD_MASK
+            elif opcode <= _LB:  # loads
+                address = (registers[rs] + imm) & _WORD_MASK
+                nbytes = 8 if opcode == _LW else (2 if opcode == _LH else 1)
+                value = load(address, nbytes)
+                if rd:
+                    registers[rd] = value
+                first = address >> 3
+                last = (address + nbytes - 1) >> 3
+                mem_keys = (first,) if first == last else tuple(range(first, last + 1))
                 for key in mem_keys:
-                    writer = mem_last_writer.get(key, -1)
+                    writer = last_mem_writer(key, -1)
                     if writer > mem_dep:
                         mem_dep = writer
-            elif inst.is_store:
-                address = (registers[inst.rs] + inst.imm) & _WORD_MASK
-                nbytes = 8 if opcode == Opcode.SW else (2 if opcode == Opcode.SH else 1)
-                state.store(address, registers[inst.rt], nbytes)
-                mem_keys = _chunk_keys(address, nbytes)
+            elif opcode <= _SB:  # stores
+                address = (registers[rs] + imm) & _WORD_MASK
+                nbytes = 8 if opcode == _SW else (2 if opcode == _SH else 1)
+                store(address, registers[rt], nbytes)
+                first = address >> 3
+                last = (address + nbytes - 1) >> 3
+                mem_keys = (first,) if first == last else tuple(range(first, last + 1))
                 for key in mem_keys:
                     mem_last_writer[key] = seq
-            elif inst.is_conditional_branch:
-                a = _to_signed(registers[inst.rs])
-                if opcode == Opcode.BEQ:
-                    taken = registers[inst.rs] == registers[inst.rt]
-                elif opcode == Opcode.BNE:
-                    taken = registers[inst.rs] != registers[inst.rt]
-                elif opcode == Opcode.BGEZ:
-                    taken = a >= 0
-                elif opcode == Opcode.BGTZ:
-                    taken = a > 0
-                elif opcode == Opcode.BLEZ:
-                    taken = a <= 0
-                else:  # BLTZ
-                    taken = a < 0
+            elif opcode <= _BLTZ:  # conditional branches
+                if opcode == _BEQ:
+                    taken = registers[rs] == registers[rt]
+                elif opcode == _BNE:
+                    taken = registers[rs] != registers[rt]
+                else:
+                    a = _to_signed(registers[rs])
+                    if opcode == _BGEZ:
+                        taken = a >= 0
+                    elif opcode == _BGTZ:
+                        taken = a > 0
+                    elif opcode == _BLEZ:
+                        taken = a <= 0
+                    else:  # BLTZ
+                        taken = a < 0
                 if taken:
-                    next_pc = inst.target
-            elif opcode == Opcode.J:
-                next_pc = inst.target
+                    next_pc = target
+            elif opcode == _J:
+                next_pc = target
                 taken = True
-            elif opcode == Opcode.JAL:
-                registers[31] = next_pc
-                next_pc = inst.target
-                taken = True
-            elif opcode == Opcode.JR:
-                next_pc = registers[inst.rs]
-                taken = True
-            elif opcode == Opcode.JALR:
-                target = registers[inst.rs]
+            elif opcode == _JAL:
                 registers[31] = next_pc
                 next_pc = target
                 taken = True
-            elif opcode == Opcode.NOP:
+            elif opcode == _JR:
+                next_pc = registers[rs]
+                taken = True
+            elif opcode == _JALR:
+                jump_to = registers[rs]
+                registers[31] = next_pc
+                next_pc = jump_to
+                taken = True
+            elif opcode == _NOP:
                 pass
-            elif opcode == Opcode.HALT:
+            elif opcode == _HALT:
                 halted = True
             else:  # pragma: no cover - all opcodes handled above
                 raise ExecutionError("unimplemented opcode {!r}".format(opcode))
 
             # Producer edges for the timing models.
-            rs = inst.rs
-            rt = inst.rt
-            if rs is None:
+            if nsrc == 0:
                 reg_deps = ()
-            elif rt is None:
+            elif nsrc == 1:
                 reg_deps = (reg_last_writer[rs],)
             else:
                 reg_deps = (reg_last_writer[rs], reg_last_writer[rt])
 
             append(TraceRecord(seq, inst, next_pc, taken, mem_keys, mem_dep, reg_deps))
 
-            destination = inst.rd
-            if destination:  # r0 writes are discarded
-                reg_last_writer[destination] = seq
+            if rd:  # r0 writes are discarded
+                reg_last_writer[rd] = seq
 
             if halted:
                 seq += 1

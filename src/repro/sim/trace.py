@@ -64,6 +64,19 @@ class Trace:
         #: Whether the program reached HALT (as opposed to hitting the
         #: instruction budget).
         self.halted = halted
+        self._decoded = None
+
+    def decoded(self):
+        """The flat :class:`~repro.sim.predecode.DecodedTrace` view.
+
+        Computed on first use and shared by every timing simulation of
+        this trace (the records are immutable once emitted).
+        """
+        if self._decoded is None:
+            from repro.sim.predecode import decode_trace
+
+            self._decoded = decode_trace(self)
+        return self._decoded
 
     def __len__(self):
         return len(self.records)

@@ -113,13 +113,14 @@ class SpawnAnalysis:
         for point in self.postdominator_points:
             self._by_category[point.category].append(point)
         self._by_category[SpawnCategory.LOOP] = list(self.loop_points)
+        self._policies = {}
 
     def points_of_category(self, category):
         """All spawn points of one :class:`SpawnCategory`."""
         return tuple(self._by_category[category])
 
     def policy(self, spec):
-        """Materialize the policy named by ``spec``.
+        """Materialize the policy named by ``spec`` (memoized).
 
         Accepted specs: ``postdoms``, the individual heuristics
         (``loop``, ``loopFT``, ``procFT``, ``hammock``, ``other``),
@@ -127,10 +128,24 @@ class SpawnAnalysis:
         exclusions, and the :data:`POLICY_ALIASES` names
         (``control-equivalent``, ``best-heuristic``).
 
+        Policies are immutable, so each canonical spec is materialized
+        once per analysis and shared by every caller.
+
         Raises:
             ConfigurationError: If the spec is not recognized.
         """
         spec = canonical_spec(spec)
+        # Instances unpickled from entries predating the memo lack the
+        # attribute; recreate it rather than fail.
+        memo = getattr(self, "_policies", None)
+        if memo is None:
+            memo = self._policies = {}
+        policy = memo.get(spec)
+        if policy is None:
+            policy = memo[spec] = self._materialize(spec)
+        return policy
+
+    def _materialize(self, spec):
         if spec == "postdoms":
             return SpawnPolicy("postdoms", self.postdominator_points)
         if spec.startswith("postdoms-"):

@@ -7,11 +7,8 @@ paper attributes to the corresponding benchmark; see DESIGN.md
 section 5 for the per-benchmark shape targets.
 """
 
-from repro.cfg import JumpProfile, build_program_cfgs
+from repro.analysis.pipeline import analyses_for_source, compute_analyses
 from repro.errors import ConfigurationError
-from repro.isa import assemble
-from repro.sim import run_program
-from repro.spawn import SpawnAnalysis
 from repro.workloads import (
     bzip2,
     crafty,
@@ -59,14 +56,27 @@ _BUILDERS = {
 
 
 class PreparedWorkload:
-    """A fully prepared workload: program, trace, CFGs, spawn analysis."""
+    """A fully prepared workload: program, trace, CFGs, spawn analysis.
 
-    def __init__(self, name, program, trace, cfgs, spawn_analysis):
+    A thin named view over one
+    :class:`~repro.analysis.pipeline.ProgramAnalyses` — the analyses
+    themselves are shared through the content-keyed analysis cache, so
+    every policy and every machine configuration simulating the same
+    program reuses one trace, one CFG set, and one spawn analysis.
+    """
+
+    def __init__(self, name, analyses):
         self.name = name
-        self.program = program
-        self.trace = trace
-        self.cfgs = cfgs
-        self.spawn_analysis = spawn_analysis
+        self.analyses = analyses
+        self.program = analyses.program
+        self.trace = analyses.trace
+        self.cfgs = analyses.cfgs
+        self.spawn_analysis = analyses.spawn_analysis
+
+    def spawn_profile(self, max_spawn_distance):
+        """The workload's spawn profile at one profiling distance
+        (memoized on the shared analyses)."""
+        return self.analyses.spawn_profile(max_spawn_distance)
 
     @property
     def dynamic_instructions(self):
@@ -97,23 +107,30 @@ def prepare_workload(name, scale=1.0, use_cache=True):
     The returned :class:`PreparedWorkload` has the committed trace, the
     profile-driven CFGs (indirect-jump targets resolved from the
     trace), and the :class:`~repro.spawn.policies.SpawnAnalysis` from
-    which all policies derive.
+    which all policies derive.  The analyses come from the shared
+    content-keyed :class:`~repro.analysis.pipeline.AnalysisCache`, so
+    they are computed at most once per program text;
+    ``use_cache=False`` bypasses both the ``(name, scale)`` memo and
+    the analysis cache and recomputes everything from scratch.
     """
     key = (name, scale)
     if use_cache and key in _PREPARED_CACHE:
         return _PREPARED_CACHE[key]
     source = workload_source(name, scale)
-    program = assemble(source)
-    trace = run_program(program)
-    jump_profile = JumpProfile.from_trace(trace)
-    cfgs = build_program_cfgs(program, jump_profile=jump_profile)
-    spawn_analysis = SpawnAnalysis(cfgs)
-    prepared = PreparedWorkload(name, program, trace, cfgs, spawn_analysis)
+    if use_cache:
+        analyses = analyses_for_source(source)
+    else:
+        analyses = compute_analyses(source)
+    prepared = PreparedWorkload(name, analyses)
     if use_cache:
         _PREPARED_CACHE[key] = prepared
     return prepared
 
 
 def clear_cache():
-    """Drop all cached prepared workloads (mainly for tests)."""
+    """Drop all cached prepared workloads and the in-memory layer of
+    the shared analysis cache (mainly for tests)."""
+    from repro.analysis.pipeline import clear_shared_cache
+
     _PREPARED_CACHE.clear()
+    clear_shared_cache()

@@ -1,0 +1,82 @@
+"""Unit tests for the benchmark harness's regression-gate arithmetic.
+
+The gate itself runs in CI against real measurements; these tests pin
+its decision logic — normalization by the machine calibration index,
+the tolerance floor, and the jobs4 opt-in — on synthetic reports.
+"""
+
+import importlib.util
+import os
+
+_BENCH_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "benchmarks", "bench_kernel.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_kernel", _BENCH_PATH)
+bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench)
+
+
+def _report(serial_ips, machine_index=1000.0, jobs4_ips=None):
+    report = {
+        "machine_index": machine_index,
+        "serial": {"aggregate_ips": serial_ips},
+    }
+    if jobs4_ips is not None:
+        report["jobs4"] = {"ips": jobs4_ips}
+    return report
+
+
+def test_speedup_is_plain_ratio_on_identical_machines():
+    speedups = bench.speedup_vs_baseline(_report(200.0), _report(100.0))
+    assert speedups == {"serial": 2.0}
+
+
+def test_speedup_normalizes_away_machine_speed():
+    """Twice the ips on a machine with twice the calibration index is
+    no speedup at all."""
+    speedups = bench.speedup_vs_baseline(
+        _report(200.0, machine_index=2000.0), _report(100.0, machine_index=1000.0)
+    )
+    assert abs(speedups["serial"] - 1.0) < 1e-12
+
+
+def test_speedup_includes_jobs4_only_when_both_sides_have_it():
+    with_jobs = _report(100.0, jobs4_ips=300.0)
+    without_jobs = _report(100.0)
+    assert "jobs4" in bench.speedup_vs_baseline(with_jobs, with_jobs)
+    assert "jobs4" not in bench.speedup_vs_baseline(with_jobs, without_jobs)
+    assert "jobs4" not in bench.speedup_vs_baseline(without_jobs, with_jobs)
+
+
+def test_gate_passes_at_parity_and_within_tolerance():
+    reference = _report(100.0, jobs4_ips=300.0)
+    assert bench.check_regression(reference, reference, 0.15) == []
+    slightly_slower = _report(90.0, jobs4_ips=270.0)
+    assert bench.check_regression(slightly_slower, reference, 0.15) == []
+
+
+def test_gate_fails_beyond_tolerance():
+    reference = _report(100.0, jobs4_ips=300.0)
+    regressed = _report(80.0, jobs4_ips=300.0)
+    failures = bench.check_regression(regressed, reference, 0.15)
+    assert len(failures) == 1
+    assert failures[0].startswith("serial:")
+
+    both = bench.check_regression(_report(80.0, jobs4_ips=200.0), reference, 0.15)
+    assert [failure.split(":")[0] for failure in both] == ["serial", "jobs4"]
+
+
+def test_gate_forgives_a_slower_machine():
+    """Half the ips on a machine with half the calibration index is a
+    wash, not a regression."""
+    reference = _report(100.0, machine_index=1000.0)
+    slow_machine = _report(50.0, machine_index=500.0)
+    assert bench.check_regression(slow_machine, reference, 0.15) == []
+
+
+def test_gate_catches_regression_hidden_by_a_faster_machine():
+    """A faster machine must not mask a genuinely slower kernel."""
+    reference = _report(100.0, machine_index=1000.0)
+    masked = _report(110.0, machine_index=2000.0)
+    failures = bench.check_regression(masked, reference, 0.15)
+    assert len(failures) == 1 and failures[0].startswith("serial:")

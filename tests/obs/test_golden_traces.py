@@ -11,6 +11,7 @@ produced by the parallel runner's worker processes (``--jobs 4``),
 because figure reproduction relies on that determinism.
 """
 
+import hashlib
 import io
 import os
 
@@ -31,11 +32,24 @@ _SCALE = 0.1
 #: (workload, policy spec) pairs with committed golden traces.  mcf is
 #: included because its run contains a dependence violation and the
 #: resulting squash chain, so the squash/violation wire format is
-#: pinned too.
+#: pinned too; crafty and parser pin the deepest-nesting and the most
+#: call-heavy control-flow shapes in the suite.
 _CASES = (
     ("gzip", "control-equivalent"),
     ("vortex", "control-equivalent"),
     ("mcf", "control-equivalent"),
+    ("crafty", "control-equivalent"),
+    ("parser", "control-equivalent"),
+)
+
+#: SHA-256 of gzip's *full verbose* event stream (every per-instruction
+#: fetch/commit/hint event, not just lifecycle events) under
+#: control-equivalent spawning at scale 0.1.  This pins the fused
+#: fast-engine + pre-decoded-trace kernel to the exact cycle-for-cycle
+#: behaviour of the original staged attribute-walking implementation —
+#: it was recorded before the kernel rewrite and must never drift.
+_GZIP_VERBOSE_SHA256 = (
+    "82160555fb58c67c464d85eed371a63a553623bb6941dc589d9ab9cc2a9698ed"
 )
 
 _GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
@@ -75,6 +89,18 @@ def test_trace_matches_golden(name, spec, request):
 @pytest.mark.parametrize("name,spec", _CASES)
 def test_trace_byte_identical_across_runs(name, spec):
     assert _render_trace(name, spec) == _render_trace(name, spec)
+
+
+def test_gzip_verbose_stream_pinned_across_kernel_rewrites():
+    """The verbose event stream is byte-identical to the pre-predecode
+    simulator's (see :data:`_GZIP_VERBOSE_SHA256`)."""
+    buffer = io.StringIO()
+    bus = EventBus()
+    writer = bus.attach(JsonlTraceWriter(buffer), verbose=True)
+    build_core("gzip", "control-equivalent", _SCALE, PAPER_CONFIG, bus=bus).run()
+    writer.close()
+    digest = hashlib.sha256(buffer.getvalue().encode("utf-8")).hexdigest()
+    assert digest == _GZIP_VERBOSE_SHA256
 
 
 def test_traces_byte_identical_under_parallel_jobs(tmp_path, request):

@@ -6,25 +6,45 @@ re-fetching it performs, the *committed* instruction sequence — and
 therefore the final architectural state — must be exactly the
 functional simulator's.  The commit events of the simulation event bus
 make that directly observable: this suite runs every workload under
-the paper's two headline policies and checks the committed stream
+every policy spec the paper evaluates and checks the committed stream
 instruction by instruction.
+
+The suite also pins the core's two engines against each other: the
+fused fast loop and the staged reference loop must produce identical
+verbose event streams and statistics for the same job.
 """
+
+import io
 
 import pytest
 
-from repro.experiments.runner import build_core
+from repro.experiments.runner import REC_PRED_SPEC, build_core, spawn_profile
 from repro.isa import assemble
-from repro.obs import EventBus
-from repro.polyflow import PAPER_CONFIG
+from repro.obs import EventBus, JsonlTraceWriter
+from repro.polyflow import PAPER_CONFIG, PolyFlowCore
 from repro.sim.functional import FunctionalSimulator
+from repro.spawn import canonical_spec
+from repro.spawn.hints import HintTable
+from repro.spawn.policies import (
+    COMBINATION_POLICY_SPECS,
+    EXCLUSION_POLICY_SPECS,
+    INDIVIDUAL_POLICY_SPECS,
+)
 from repro.workloads import WORKLOAD_NAMES, prepare_workload, workload_source
 
 _SCALE = 0.1
 
-#: The paper's two headline policies, by their human-readable aliases:
-#: control-equivalent spawning (postdoms) and the best heuristic
-#: combination (loop+procFT+loopFT).
-_POLICIES = ("control-equivalent", "best-heuristic")
+#: Every spawn-selection scheme the paper evaluates: control-equivalent
+#: spawning, the five individual heuristics (Figure 9), the heuristic
+#: combinations (Figure 10), the category exclusions (Figure 11), and
+#: the dynamic reconvergence predictor (Figure 12).
+_POLICIES = (
+    ("postdoms",)
+    + INDIVIDUAL_POLICY_SPECS
+    + COMBINATION_POLICY_SPECS
+    + EXCLUSION_POLICY_SPECS
+    + (REC_PRED_SPEC,)
+)
 
 
 class _CommitCollector:
@@ -79,10 +99,78 @@ def test_final_architectural_state_matches_functional(name):
 
 @pytest.mark.parametrize("name", ("gzip", "twolf", "crafty"))
 def test_policies_commit_identical_streams(name):
-    """Different spawn policies must not change *what* commits, only when."""
-    _, control = _committed_stream(name, _POLICIES[0])
-    _, heuristic = _committed_stream(name, _POLICIES[1])
+    """Different spawn policies must not change *what* commits, only when.
+
+    Uses the human-readable aliases so the alias-canonicalization path
+    stays covered too.
+    """
+    _, control = _committed_stream(name, "control-equivalent")
+    _, heuristic = _committed_stream(name, "best-heuristic")
     assert [event.trace_index for event in control] == [
         event.trace_index for event in heuristic
     ]
     assert [event.pc for event in control] == [event.pc for event in heuristic]
+
+
+# -- engine equivalence ---------------------------------------------------------
+
+
+class _StagedReferenceCore(PolyFlowCore):
+    """Forces the staged reference engine.
+
+    Overriding any stage hook — here with a pass-through — makes
+    ``_stage_hooks_overridden`` pick ``_run_staged``, without changing
+    behaviour.  Comparing this against a plain ``PolyFlowCore`` (which
+    takes the fused fast loop) pins the two engines to each other.
+    """
+
+    def _fetch(self):
+        PolyFlowCore._fetch(self)
+
+
+def _verbose_stream(name, spec, core_cls):
+    """The full verbose event stream of one run, as JSONL text."""
+    spec = canonical_spec(spec)
+    prepared = prepare_workload(name, _SCALE)
+    config = PAPER_CONFIG
+    buffer = io.StringIO()
+    bus = EventBus()
+    writer = bus.attach(JsonlTraceWriter(buffer), verbose=True)
+    if spec == REC_PRED_SPEC:
+        from repro.reconvergence import build_reconvergence_spawner
+
+        core = core_cls(prepared.trace, config, HintTable(), bus=bus)
+        core.spawn_unit = build_reconvergence_spawner(prepared, config)
+    else:
+        profile = spawn_profile(name, _SCALE, config.max_spawn_distance)
+        policy = prepared.spawn_analysis.policy(spec)
+        core = core_cls(prepared.trace, config, profile.hint_table(policy), bus=bus)
+    stats = core.run()
+    writer.close()
+    return stats, buffer.getvalue()
+
+
+@pytest.mark.parametrize("spec", ("postdoms", "loop+procFT+loopFT", REC_PRED_SPEC))
+@pytest.mark.parametrize("name", ("gzip", "mcf", "crafty"))
+def test_fast_and_staged_engines_are_equivalent(name, spec):
+    """Fast and staged engines emit byte-identical verbose streams.
+
+    mcf is included because its run contains a dependence violation and
+    the resulting squash chain, so the recovery paths are compared too.
+    """
+    fast_stats, fast_stream = _verbose_stream(name, spec, PolyFlowCore)
+    staged_stats, staged_stream = _verbose_stream(name, spec, _StagedReferenceCore)
+    assert fast_stream == staged_stream
+    assert fast_stats.as_dict() == staged_stats.as_dict()
+
+
+def test_staged_subclass_actually_runs_staged_engine():
+    """Guard the guard: the subclass above must select the staged
+    engine, and a plain core must not."""
+    prepared = prepare_workload("gzip", _SCALE)
+    profile = spawn_profile("gzip", _SCALE, PAPER_CONFIG.max_spawn_distance)
+    hints = profile.hint_table(prepared.spawn_analysis.policy("postdoms"))
+    staged = _StagedReferenceCore(prepared.trace, PAPER_CONFIG, hints)
+    fast = PolyFlowCore(prepared.trace, PAPER_CONFIG, hints)
+    assert staged._stage_hooks_overridden()
+    assert not fast._stage_hooks_overridden()
