@@ -2,12 +2,24 @@
 """Timing-kernel throughput benchmark and regression gate.
 
 Measures committed-instructions/sec of the PolyFlow cycle-level kernel
-on the gzip/mcf/vortex trio, serially and under a ``--jobs 4`` process
-fan-out, and emits the results as ``BENCH_polyflow.json``.  The
+on the gzip/mcf/vortex trio — serially, end-to-end under a ``--jobs 4``
+grid-scheduler fan-out, and on the fully warm result-cache replay
+path — and emits the results as ``BENCH_polyflow.json``.  The
 checked-in copy of that file at the repository root is the performance
 baseline: CI re-runs this harness with ``--check BENCH_polyflow.json``
 and fails when throughput regresses more than the gate tolerance
 (default 15%).
+
+Two gates run under ``--check``:
+
+* the **throughput gate** — normalized serial/jobs4/cache-hit
+  throughput must not trail the reference by more than ``--tolerance``;
+* the **parallel-efficiency gate** — on a multi-core machine the
+  ``--jobs 4`` wall clock must beat the serial wall clock by at least
+  ``--efficiency-floor`` (default 1.2×).  On a single-core machine the
+  scheduler short-circuits the pool (parallelism cannot help), so the
+  gate instead bounds the scheduler's overhead: jobs4 may not run more
+  than 25% slower than serial.
 
 Cross-machine comparability: every run also measures a fixed
 pure-Python calibration loop (``machine_index``).  The ``--check`` gate
@@ -26,10 +38,12 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 import time
 
-#: Schema version of the emitted JSON.
-SCHEMA = 1
+#: Schema version of the emitted JSON.  v2: jobs4 grew ``cpus``/``mode``,
+#: and reports carry ``cache_hit`` and ``efficiency`` sections.
+SCHEMA = 2
 
 #: The benchmark trio (chosen in the ISSUE: one branchy compressor, one
 #: pointer-chasing workload with violation squashes, one call-heavy OO
@@ -43,6 +57,12 @@ DEFAULT_SCALE = 0.5
 DEFAULT_REPEATS = 5
 DEFAULT_JOBS = 4
 DEFAULT_TOLERANCE = 0.15
+#: jobs4 must beat serial wall-clock by this factor on multi-core
+#: machines (env BENCH_EFFICIENCY_FLOOR overrides).
+DEFAULT_EFFICIENCY_FLOOR = 1.2
+#: On a single core the pool is short-circuited; jobs4 overhead over
+#: the serial kernel must stay within this factor.
+SINGLE_CORE_EFFICIENCY_FLOOR = 0.8
 
 #: Iterations of the calibration loop.
 _CALIBRATION_N = 2_000_000
@@ -112,10 +132,15 @@ def measure_jobs(scale, jobs, repeats):
     """Best-of-``repeats`` end-to-end wall throughput under a fan-out.
 
     Each repeat builds a fresh :class:`ParallelExperimentRunner` (no
-    disk cache) and prefetches the trio, so the measurement includes
-    worker startup and in-worker preparation — the figure-generation
-    path as users experience it.
+    disk cache) and prefetches the trio through the grid scheduler, so
+    the measurement includes chunk planning and result transport.  The
+    worker pool is the module-level warm pool: the first repeat pays
+    any spin-up, later repeats reuse warm workers — the steady state a
+    figure-generation run experiences.  On a single-core machine the
+    scheduler short-circuits the pool and runs inline; the reported
+    ``mode`` records which path was measured.
     """
+    from repro.experiments import scheduler
     from repro.experiments.parallel import ParallelExperimentRunner
     from repro.workloads import prepare_workload
 
@@ -123,6 +148,7 @@ def measure_jobs(scale, jobs, repeats):
         len(prepare_workload(name, scale).trace) for name in WORKLOADS
     )
     best = float("inf")
+    mode = "inline"
     for _ in range(repeats):
         runner = ParallelExperimentRunner(
             scale=scale, workload_names=WORKLOADS, jobs=jobs
@@ -134,17 +160,68 @@ def measure_jobs(scale, jobs, repeats):
             raise AssertionError(
                 "expected {} simulations, ran {}".format(len(WORKLOADS), simulated)
             )
+        if runner.summary.chunks_shipped:
+            mode = "pool"
         best = min(best, elapsed)
     return {
         "jobs": jobs,
+        "cpus": scheduler.usable_cpus(),
+        "mode": mode,
         "instructions": total_instructions,
         "wall_seconds": best,
         "ips": total_instructions / best,
     }
 
 
-def run_benchmark(scale, repeats, jobs, jobs_repeats=3, skip_jobs=False):
-    """One full measurement: calibration, serial trio, jobs fan-out."""
+def measure_cache_hits(scale, repeats):
+    """Best-of-``repeats`` wall time of a fully warm result-cache replay.
+
+    Seeds a disk cache with the trio once, then measures fresh runners
+    replaying the same grid entirely from cache (0 simulations).  This
+    is the path every repeated figure-generation and CI smoke run
+    takes; gating it keeps cache-load regressions from hiding behind a
+    fast cold kernel.
+    """
+    from repro.experiments.parallel import ParallelExperimentRunner
+
+    grid = [(name, POLICY) for name in WORKLOADS]
+    with tempfile.TemporaryDirectory(prefix="polyflow-bench-cache-") as cache_dir:
+        seed = ParallelExperimentRunner(
+            scale=scale, workload_names=WORKLOADS, jobs=1, cache_dir=cache_dir
+        )
+        if seed.prefetch(grid) != len(WORKLOADS):
+            raise AssertionError("cache seeding expected a cold run")
+        best = float("inf")
+        for _ in range(repeats):
+            runner = ParallelExperimentRunner(
+                scale=scale, workload_names=WORKLOADS, jobs=1, cache_dir=cache_dir
+            )
+            started = time.perf_counter()
+            simulated = runner.prefetch(grid)
+            elapsed = time.perf_counter() - started
+            if simulated != 0:
+                raise AssertionError(
+                    "warm cache replay ran {} simulations".format(simulated)
+                )
+            if runner.summary.cache_hits != len(WORKLOADS):
+                raise AssertionError(
+                    "expected {} cache hits, saw {}".format(
+                        len(WORKLOADS), runner.summary.cache_hits
+                    )
+                )
+            best = min(best, elapsed)
+    return {
+        "entries": len(WORKLOADS),
+        "wall_seconds": best,
+        "loads_per_second": len(WORKLOADS) / best,
+    }
+
+
+def run_benchmark(
+    scale, repeats, jobs, jobs_repeats=3, skip_jobs=False, skip_cache=False
+):
+    """One full measurement: calibration, serial trio, jobs fan-out,
+    warm-cache replay, and the derived parallel-efficiency ratio."""
     report = {
         "schema": SCHEMA,
         "workloads": list(WORKLOADS),
@@ -157,6 +234,14 @@ def run_benchmark(scale, repeats, jobs, jobs_repeats=3, skip_jobs=False):
     }
     if not skip_jobs:
         report["jobs4"] = measure_jobs(scale, jobs, jobs_repeats)
+        report["efficiency"] = {
+            "ratio": report["serial"]["seconds"]
+            / report["jobs4"]["wall_seconds"],
+            "mode": report["jobs4"]["mode"],
+            "cpus": report["jobs4"]["cpus"],
+        }
+    if not skip_cache:
+        report["cache_hit"] = measure_cache_hits(scale, jobs_repeats)
     return report
 
 
@@ -172,6 +257,12 @@ def speedup_vs_baseline(report, baseline):
     if "jobs4" in report and "jobs4" in baseline:
         speedups["jobs4"] = (
             report["jobs4"]["ips"] / baseline["jobs4"]["ips"] / ratio
+        )
+    if "cache_hit" in report and "cache_hit" in baseline:
+        speedups["cache_hit"] = (
+            report["cache_hit"]["loads_per_second"]
+            / baseline["cache_hit"]["loads_per_second"]
+            / ratio
         )
     return speedups
 
@@ -191,6 +282,14 @@ def check_regression(report, reference, tolerance):
     ]
     if "jobs4" in report and "jobs4" in reference:
         checks.append(("jobs4", report["jobs4"]["ips"], reference["jobs4"]["ips"]))
+    if "cache_hit" in report and "cache_hit" in reference:
+        checks.append(
+            (
+                "cache_hit",
+                report["cache_hit"]["loads_per_second"],
+                reference["cache_hit"]["loads_per_second"],
+            )
+        )
     for label, measured, expected in checks:
         normalized = measured / ratio
         floor = expected * (1.0 - tolerance)
@@ -202,6 +301,41 @@ def check_regression(report, reference, tolerance):
                 )
             )
     return failures
+
+
+def check_efficiency(
+    report,
+    floor=DEFAULT_EFFICIENCY_FLOOR,
+    single_core_floor=SINGLE_CORE_EFFICIENCY_FLOOR,
+):
+    """Parallel-efficiency gate.  Returns failure strings (empty = pass).
+
+    ``efficiency.ratio`` is serial wall / jobs4 wall.  In ``pool`` mode
+    (≥2 usable CPUs) the fan-out must beat serial by ``floor``; in
+    ``inline`` mode (single core — the pool is short-circuited because
+    parallelism cannot help) the scheduler's bookkeeping overhead is
+    bounded by ``single_core_floor`` instead.
+    """
+    efficiency = report.get("efficiency")
+    if efficiency is None:
+        return []
+    ratio = efficiency["ratio"]
+    if efficiency["mode"] == "pool":
+        if ratio < floor:
+            return [
+                "parallel efficiency: jobs4 is only {:.2f}x serial wall-clock "
+                "on {} CPUs (floor {:.2f}x)".format(
+                    ratio, efficiency["cpus"], floor
+                )
+            ]
+    elif ratio < single_core_floor:
+        return [
+            "parallel efficiency: inline short-circuit ran {:.2f}x serial "
+            "on a single core (overhead floor {:.2f}x)".format(
+                ratio, single_core_floor
+            )
+        ]
+    return []
 
 
 def render(report):
@@ -227,12 +361,28 @@ def render(report):
     if "jobs4" in report:
         jobs = report["jobs4"]
         lines.append(
-            "  {:>8}  {:>8} instr  {:>7.3f}s  {:>9.0f} ips (end-to-end, {} workers)".format(
+            "  {:>8}  {:>8} instr  {:>7.3f}s  {:>9.0f} ips "
+            "(end-to-end, --jobs {}, {} mode on {} CPUs)".format(
                 "jobs4",
                 jobs["instructions"],
                 jobs["wall_seconds"],
                 jobs["ips"],
                 jobs["jobs"],
+                jobs.get("mode", "pool"),
+                jobs.get("cpus", "?"),
+            )
+        )
+    if "efficiency" in report:
+        lines.append(
+            "  parallel efficiency: {:.2f}x serial wall-clock ({} mode)".format(
+                report["efficiency"]["ratio"], report["efficiency"]["mode"]
+            )
+        )
+    if "cache_hit" in report:
+        cache = report["cache_hit"]
+        lines.append(
+            "  cache-hit replay: {} entries in {:.4f}s ({:.0f} loads/s)".format(
+                cache["entries"], cache["wall_seconds"], cache["loads_per_second"]
             )
         )
     if "speedup_vs_baseline" in report:
@@ -247,6 +397,52 @@ def render(report):
     return "\n".join(lines)
 
 
+def render_markdown_summary(report):
+    """Machine-index-normalized throughput as a Markdown table.
+
+    Written to ``--summary-md`` (CI points it at ``$GITHUB_STEP_SUMMARY``)
+    so every benchmark run surfaces serial and jobs4 throughput plus the
+    efficiency ratio without downloading the artifact.
+    """
+    index = report["machine_index"]
+    lines = [
+        "### PolyFlow kernel benchmark (scale {}, policy {})".format(
+            report["scale"], report["policy"]
+        ),
+        "",
+        "| metric | raw | normalized (ips / machine index) |",
+        "|---|---:|---:|",
+        "| serial throughput | {:.0f} ips | {:.6f} |".format(
+            report["serial"]["aggregate_ips"],
+            report["serial"]["aggregate_ips"] / index,
+        ),
+    ]
+    if "jobs4" in report:
+        jobs = report["jobs4"]
+        lines.append(
+            "| `--jobs {}` throughput ({} mode, {} CPUs) | {:.0f} ips | {:.6f} |".format(
+                jobs["jobs"], jobs["mode"], jobs["cpus"], jobs["ips"], jobs["ips"] / index
+            )
+        )
+    if "efficiency" in report:
+        lines.append(
+            "| parallel efficiency (serial wall / jobs4 wall) | {:.2f}x | — |".format(
+                report["efficiency"]["ratio"]
+            )
+        )
+    if "cache_hit" in report:
+        cache = report["cache_hit"]
+        lines.append(
+            "| warm cache replay | {:.0f} loads/s | {:.6f} |".format(
+                cache["loads_per_second"], cache["loads_per_second"] / index
+            )
+        )
+    lines.append(
+        "| machine index | {:.0f} ops/s | 1 |".format(index)
+    )
+    return "\n".join(lines) + "\n"
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
@@ -255,7 +451,21 @@ def main(argv=None):
     parser.add_argument(
         "--skip-jobs", action="store_true", help="skip the --jobs fan-out measurement"
     )
+    parser.add_argument(
+        "--skip-cache",
+        action="store_true",
+        help="skip the warm cache-hit replay measurement",
+    )
     parser.add_argument("--output", help="write the report JSON here")
+    parser.add_argument(
+        "--summary-md",
+        help="append a Markdown summary table here (CI: $GITHUB_STEP_SUMMARY)",
+    )
+    parser.add_argument(
+        "--efficiency-output",
+        help="write the parallel-efficiency section as JSON here "
+        "(uploaded as a CI artifact next to the full report)",
+    )
     parser.add_argument(
         "--baseline",
         help="a previous report; its numbers are embedded under 'baseline' "
@@ -274,6 +484,16 @@ def main(argv=None):
         help="allowed fractional regression for --check (default 0.15; "
         "env BENCH_GATE_TOLERANCE overrides)",
     )
+    parser.add_argument(
+        "--efficiency-floor",
+        type=float,
+        default=float(
+            os.environ.get("BENCH_EFFICIENCY_FLOOR", DEFAULT_EFFICIENCY_FLOOR)
+        ),
+        help="jobs4 must beat serial wall-clock by this factor on "
+        "multi-core machines (default 1.2; env BENCH_EFFICIENCY_FLOOR "
+        "overrides)",
+    )
     arguments = parser.parse_args(argv)
 
     report = run_benchmark(
@@ -281,6 +501,7 @@ def main(argv=None):
         arguments.repeats,
         arguments.jobs,
         skip_jobs=arguments.skip_jobs,
+        skip_cache=arguments.skip_cache,
     )
 
     if arguments.baseline:
@@ -297,17 +518,29 @@ def main(argv=None):
             handle.write("\n")
         print("wrote {}".format(arguments.output))
 
+    if arguments.summary_md:
+        with open(arguments.summary_md, "a") as handle:
+            handle.write(render_markdown_summary(report))
+        print("appended summary to {}".format(arguments.summary_md))
+
+    if arguments.efficiency_output and "efficiency" in report:
+        with open(arguments.efficiency_output, "w") as handle:
+            json.dump(report["efficiency"], handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote {}".format(arguments.efficiency_output))
+
     if arguments.check:
         with open(arguments.check) as handle:
             reference = json.load(handle)
         failures = check_regression(report, reference, arguments.tolerance)
+        failures.extend(check_efficiency(report, arguments.efficiency_floor))
         if failures:
             for failure in failures:
                 print("REGRESSION {}".format(failure), file=sys.stderr)
             return 1
         print(
-            "gate passed (tolerance {:.0%} vs {})".format(
-                arguments.tolerance, arguments.check
+            "gates passed (tolerance {:.0%}, efficiency floor {:.2f}x vs {})".format(
+                arguments.tolerance, arguments.efficiency_floor, arguments.check
             )
         )
     return 0

@@ -159,6 +159,16 @@ class AnalysisCache:
         self._memory[digest] = analyses
         return analyses
 
+    def trace_length_for(self, source):
+        """Committed-trace length of ``source``.
+
+        The grid scheduler's cost unit: simulation time is linear in
+        committed instructions, and the trace is already materialized
+        by the pipeline, so the estimate is exact and free for any
+        program this cache (memory or disk layer) has seen.
+        """
+        return len(self.analyses_for(source).trace)
+
     def clear(self):
         """Drop the in-memory layer (disk entries are left in place)."""
         self._memory.clear()
@@ -220,6 +230,12 @@ def shared_cache():
 def analyses_for_source(source):
     """Analyses of ``source`` via the shared cache."""
     return _SHARED_CACHE.analyses_for(source)
+
+
+def trace_length_for_source(source):
+    """Committed-trace length of ``source`` via the shared cache (the
+    grid scheduler's per-program cost estimate)."""
+    return _SHARED_CACHE.trace_length_for(source)
 
 
 def configure_disk_cache(disk_root):

@@ -14,6 +14,7 @@ from repro.experiments.figures import (
     FIGURE10_SPECS,
     FIGURE12_SPECS,
     figure_jobs,
+    figure_jobs_union,
     figure5,
     figure8,
     figure9,
@@ -52,6 +53,7 @@ __all__ = [
     "figure12",
     "headline_ratios",
     "figure_jobs",
+    "figure_jobs_union",
     "FIGURE9_SPECS",
     "FIGURE10_SPECS",
     "FIGURE12_SPECS",

@@ -29,7 +29,7 @@ import argparse
 import sys
 import time
 
-from repro.experiments import figures
+from repro.experiments import figures, scheduler
 from repro.experiments.parallel import DEFAULT_CACHE_DIR, ParallelExperimentRunner
 
 _FIGURES = ("fig5", "fig8", "fig9", "fig10", "fig11", "fig12")
@@ -83,7 +83,21 @@ def main(argv=None):
         type=int,
         default=1,
         help="worker processes for the simulation fan-out "
-        "(default 1 = serial)",
+        "(default 1 = serial; capped at the machine's usable CPUs)",
+    )
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        help="max grid cells per worker chunk (default: sized "
+        "automatically from each cell's estimated cost)",
+    )
+    parser.add_argument(
+        "--schedule",
+        choices=scheduler.SCHEDULES,
+        default=scheduler.SCHEDULE_COST,
+        help="chunk ordering: 'cost' ships longest-expected chunks "
+        "first (default), 'fifo' keeps grid order",
     )
     parser.add_argument(
         "--cache-dir",
@@ -112,12 +126,17 @@ def main(argv=None):
         cache_dir=None if arguments.no_cache else arguments.cache_dir,
         emit_metrics=arguments.emit_metrics,
         trace_dir=arguments.trace_dir,
+        chunk=arguments.chunk,
+        schedule=arguments.schedule,
     )
     started = time.time()
 
     if arguments.figure == _ABLATIONS:
         from repro.experiments import ablations
 
+        # One batched prefetch for the whole 100+-cell ablation grid;
+        # each sweep below then renders from the memo.
+        runner.prefetch(ablations.ablation_jobs(runner))
         for sweep in (
             ablations.task_count_ablation,
             ablations.rob_size_ablation,
@@ -133,12 +152,9 @@ def main(argv=None):
 
     requested = _FIGURES if arguments.figure == "all" else (arguments.figure,)
 
-    # One batched prefetch for every requested figure: the parallel
-    # runner schedules the union of their simulation grids at once.
-    jobs = []
-    for figure in requested:
-        jobs.extend(figures.figure_jobs(figure, runner))
-    runner.prefetch(jobs)
+    # One batched prefetch for every requested figure: the scheduler
+    # chunks and cost-orders the union of their simulation grids.
+    runner.prefetch(figures.figure_jobs_union(requested, runner))
 
     for figure in requested:
         if figure == "fig5":

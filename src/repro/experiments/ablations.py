@@ -95,24 +95,28 @@ def _sweep(
     return AblationResult(title, parameter_name, values, workloads, speedups)
 
 
+def _task_count_config(count):
+    return dataclasses.replace(
+        PAPER_CONFIG,
+        max_tasks=count,
+        fetch_tasks_per_cycle=min(2, count),
+    )
+
+
 def task_count_ablation(runner, counts=(1, 2, 4, 8), workloads=DEFAULT_ABLATION_WORKLOADS):
     """How much of the postdoms speedup each task context buys."""
-
-    def make_config(count):
-        return dataclasses.replace(
-            PAPER_CONFIG,
-            max_tasks=count,
-            fetch_tasks_per_cycle=min(2, count),
-        )
-
     return _sweep(
         runner,
         "Ablation: task contexts (postdoms policy)",
         "tasks",
         counts,
-        make_config,
+        _task_count_config,
         workloads,
     )
+
+
+def _rob_size_config(size):
+    return dataclasses.replace(PAPER_CONFIG, rob_entries=size)
 
 
 def rob_size_ablation(
@@ -120,19 +124,19 @@ def rob_size_ablation(
 ):
     """The conclusion's second limitation: ROB size bounds outer-loop
     parallelism.  Both PolyFlow and its baseline get the swept ROB."""
-
-    def make_config(size):
-        return dataclasses.replace(PAPER_CONFIG, rob_entries=size)
-
     return _sweep(
         runner,
         "Ablation: reorder buffer size (postdoms policy, matched baseline)",
         "rob",
         sizes,
-        make_config,
+        _rob_size_config,
         workloads,
         matched_baseline=True,
     )
+
+
+def _nested_spawn_config(enabled):
+    return dataclasses.replace(PAPER_CONFIG, nested_spawns=enabled)
 
 
 def nested_spawn_ablation(runner, workloads=DEFAULT_ABLATION_WORKLOADS):
@@ -141,68 +145,93 @@ def nested_spawn_ablation(runner, workloads=DEFAULT_ABLATION_WORKLOADS):
     Compares stock PolyFlow against the future-work extension that
     splits a bounded task's segment to spawn past inner branches.
     """
-
-    def make_config(enabled):
-        return dataclasses.replace(PAPER_CONFIG, nested_spawns=enabled)
-
     return _sweep(
         runner,
         "Ablation: nested spawns (the paper's future-work extension)",
         "nested",
         (False, True),
-        make_config,
+        _nested_spawn_config,
         workloads,
     )
+
+
+def _mispredict_penalty_config(penalty):
+    return dataclasses.replace(PAPER_CONFIG, mispredict_penalty=penalty)
 
 
 def mispredict_penalty_ablation(
     runner, penalties=(4, 8, 16, 32), workloads=DEFAULT_ABLATION_WORKLOADS
 ):
     """Sensitivity of the postdoms speedup to the refill penalty."""
-
-    def make_config(penalty):
-        return dataclasses.replace(PAPER_CONFIG, mispredict_penalty=penalty)
-
     return _sweep(
         runner,
         "Ablation: branch mispredict penalty (matched baseline)",
         "penalty",
         penalties,
-        make_config,
+        _mispredict_penalty_config,
         workloads,
         matched_baseline=True,
     )
+
+
+def _spawn_distance_config(cap):
+    return dataclasses.replace(PAPER_CONFIG, max_spawn_distance=cap)
 
 
 def spawn_distance_ablation(
     runner, caps=(64, 128, 256, 512), workloads=DEFAULT_ABLATION_WORKLOADS
 ):
     """The 'not too far into the future' cap on spawn distances."""
-
-    def make_config(cap):
-        return dataclasses.replace(PAPER_CONFIG, max_spawn_distance=cap)
-
     return _sweep(
         runner,
         "Ablation: maximum spawn distance (postdoms policy)",
         "max_dist",
         caps,
-        make_config,
+        _spawn_distance_config,
         workloads,
     )
 
 
+def _divert_release_config(release):
+    return dataclasses.replace(PAPER_CONFIG, divert_release=release)
+
+
 def divert_release_ablation(runner, workloads=DEFAULT_ABLATION_WORKLOADS):
     """Divert-queue release at producer dispatch vs completion."""
-
-    def make_config(release):
-        return dataclasses.replace(PAPER_CONFIG, divert_release=release)
-
     return _sweep(
         runner,
         "Ablation: divert-queue release policy (postdoms policy)",
         "release",
         ("dispatch", "complete"),
-        make_config,
+        _divert_release_config,
         workloads,
     )
+
+
+#: ``(values, config builder, matched_baseline)`` of every default
+#: sweep, in CLI order.  :func:`ablation_jobs` walks this to batch the
+#: entire ablation grid into one scheduler prefetch.
+DEFAULT_SWEEPS = (
+    ((1, 2, 4, 8), _task_count_config, False),
+    ((128, 256, 512, 1024), _rob_size_config, True),
+    ((False, True), _nested_spawn_config, False),
+    ((4, 8, 16, 32), _mispredict_penalty_config, True),
+    ((64, 128, 256, 512), _spawn_distance_config, False),
+    (("dispatch", "complete"), _divert_release_config, False),
+)
+
+
+def ablation_jobs(runner, workloads=DEFAULT_ABLATION_WORKLOADS):
+    """Every simulation the default ablation sweeps need, as one grid.
+
+    Prefetching this union up front lets the batched scheduler chunk
+    and order the whole 100+-cell ablation grid at once instead of
+    paying one pool round per sweep; the per-sweep ``_sweep`` calls
+    then find everything memoized.
+    """
+    jobs = []
+    for values, make_config, matched_baseline in DEFAULT_SWEEPS:
+        jobs.extend(
+            _sweep_jobs(runner, values, make_config, workloads, matched_baseline)
+        )
+    return jobs

@@ -56,6 +56,19 @@ def figure_jobs(figure, runner):
     return jobs
 
 
+def figure_jobs_union(figures, runner):
+    """The union of every requested figure's simulation grid.
+
+    One list feeding one ``prefetch`` call, so the batched scheduler
+    chunks and cost-orders the whole multi-figure grid at once
+    (``normalize_jobs`` deduplicates the shared baseline cells).
+    """
+    jobs = []
+    for figure in figures:
+        jobs.extend(figure_jobs(figure, runner))
+    return jobs
+
+
 class SpeedupResult:
     """Per-benchmark speedups for a set of policy specs."""
 

@@ -1,13 +1,14 @@
 """Parallel experiment execution with an on-disk result cache.
 
-The paper's evaluation sweeps 12 benchmarks across ~10 spawn policies
+The paper's evaluation sweeps 12 benchmarks across ~14 policy specs
 plus a superscalar baseline — an embarrassingly parallel grid of
 independent cycle-level simulations.  This module fans that grid out
-across a :class:`concurrent.futures.ProcessPoolExecutor`: each worker
-prepares a workload once (module-level memo in
-:mod:`repro.workloads.suite`), derives the requested policy's hints,
-runs the simulation, and ships the picklable
-:class:`~repro.polyflow.stats.SimStats` back to the parent.
+through the batched grid scheduler of
+:mod:`repro.experiments.scheduler`: grid cells are cost-estimated from
+their committed-trace lengths, cheap cells run inline in the parent,
+and the rest ship to a persistent warm worker pool as
+longest-expected-first chunks (one pickle per chunk, compact stat
+tuples back).
 
 Results are also written to a content-addressed on-disk cache keyed by
 ``(workload, spec, scale, machine-config fingerprint, profile
@@ -19,7 +20,8 @@ because both funnel through the same
 Parallel output is bit-identical to serial output: every simulation is
 deterministic given its job key (workloads are built from seeded RNGs),
 and results are merged into the same keyed memo the serial runner
-reads, so table generation never depends on completion order.
+reads, so table generation never depends on scheduling decisions or
+completion order.
 """
 
 import hashlib
@@ -28,10 +30,14 @@ import os
 import pickle
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import as_completed
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.analysis.pipeline import configure_disk_cache
-from repro.experiments.runner import ExperimentRunner, build_core, simulate_job
+from repro.errors import ConfigurationError
+from repro.experiments import scheduler
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scheduler import execute_job
 from repro.polyflow.config import config_fingerprint
 from repro.spawn import canonical_spec
 
@@ -46,18 +52,6 @@ DEFAULT_CACHE_DIR = ".polyflow-cache"
 #: Subdirectory of the cache directory holding persisted program
 #: analyses (see :mod:`repro.analysis.pipeline`).
 ANALYSIS_CACHE_SUBDIR = "analysis"
-
-
-def _init_worker(analysis_dir):
-    """Worker-process initializer: enable the on-disk analysis layer.
-
-    Runs once per pool process.  With a cache directory configured,
-    workers load each program's analyses (trace, CFGs, spawn points)
-    from disk instead of re-running the pipeline per process — the
-    first worker to need a program computes and persists it.
-    """
-    if analysis_dir is not None:
-        configure_disk_cache(analysis_dir)
 
 
 def job_digest(name, spec, scale, config, profile_distance):
@@ -89,12 +83,20 @@ class ResultCache:
     Entries are sharded by the first two digest characters.  Writes go
     through a temporary file plus :func:`os.replace`, so concurrent
     runs sharing a cache directory never observe torn entries.
+
+    Lookups distinguish a *clean* miss (no entry on disk, counted in
+    ``misses``) from a *corrupt* one (present but unreadable, counted
+    in ``corrupt`` and listed in ``corrupt_paths``): both re-simulate,
+    but a corrupt entry means something damaged the cache and is
+    surfaced in the run summary rather than silently absorbed.
     """
 
     def __init__(self, root):
         self.root = root
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self.corrupt_paths = []
         self.stores = 0
 
     def path(self, digest):
@@ -105,17 +107,25 @@ class ResultCache:
 
         ``metrics`` is the per-spawn-point aggregator snapshot if the
         entry was produced by a metrics-emitting run, else ``None``.
-        Any unreadable entry — missing, truncated, or corrupt in a way
-        that makes unpickling raise an arbitrary exception type — is a
-        miss; the caller re-simulates and overwrites it.
+        A missing entry is a clean miss; an entry that exists but
+        cannot be unpickled (truncated, garbage, or raising an
+        arbitrary exception type) is counted as corrupt.  Either way
+        the caller re-simulates and overwrites it.
         """
+        path = self.path(digest)
         try:
-            with open(self.path(digest), "rb") as handle:
+            handle = open(path, "rb")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        try:
+            with handle:
                 entry = pickle.load(handle)
             stats = entry["stats"]
             metrics = entry.get("metrics")
         except Exception:
-            self.misses += 1
+            self.corrupt += 1
+            self.corrupt_paths.append(path)
             return None
         self.hits += 1
         return stats, metrics
@@ -161,7 +171,9 @@ class RunSummary:
     When metrics emission is enabled the per-job aggregator snapshots
     shipped back from the workers are collected here too, so one
     summary object carries everything a run produced besides the
-    stats themselves.
+    stats themselves.  Scheduling telemetry (inline cells, chunks
+    shipped, pool workers) and corrupt cache entries accumulate here
+    as well and show up in :meth:`render`.
     """
 
     def __init__(self):
@@ -172,6 +184,14 @@ class RunSummary:
         self.wall_seconds = 0.0
         #: ``{spec: [aggregator snapshot, ...]}`` from metrics-emitting runs.
         self.metrics_snapshots = {}
+        #: Cells the scheduler ran inline in the parent.
+        self.inline_jobs = 0
+        #: Chunks shipped to the worker pool.
+        self.chunks_shipped = 0
+        #: Worker count of the largest pool this summary used.
+        self.pool_workers = 0
+        #: Corrupt cache entries encountered (re-simulated, but surfaced).
+        self.corrupt_entries = []
 
     def record_job(self, name, spec, seconds):
         self.jobs_run += 1
@@ -179,6 +199,22 @@ class RunSummary:
 
     def record_hit(self):
         self.cache_hits += 1
+
+    def record_corrupt(self, path):
+        """Note one unreadable cache entry (it will be re-simulated).
+
+        The same entry can be probed twice before the re-simulation
+        overwrites it (prefetch's parent-side load, then the serial
+        fallback's), so paths are deduplicated.
+        """
+        if path not in self.corrupt_entries:
+            self.corrupt_entries.append(path)
+
+    def record_schedule(self, plan):
+        """Accumulate one :class:`~repro.experiments.scheduler.GridSchedule`."""
+        self.inline_jobs += len(plan.inline)
+        self.chunks_shipped += len(plan.chunks)
+        self.pool_workers = max(self.pool_workers, plan.workers)
 
     def record_metrics(self, spec, snapshot):
         """Collect one worker's aggregator snapshot under its policy spec."""
@@ -213,6 +249,20 @@ class RunSummary:
                 self.wall_seconds,
             )
         ]
+        if self.jobs_run:
+            lines.append(
+                "  schedule: {} inline, {} chunks across {} pool workers".format(
+                    self.inline_jobs, self.chunks_shipped, self.pool_workers
+                )
+            )
+        if self.corrupt_entries:
+            lines.append(
+                "  {} corrupt cache entries re-simulated:".format(
+                    len(self.corrupt_entries)
+                )
+            )
+            for path in self.corrupt_entries[:5]:
+                lines.append("    {}".format(path))
         for name, spec, seconds in self.slowest():
             lines.append("  {:>6.1f}s  {} / {}".format(seconds, name, spec))
         return "\n".join(lines)
@@ -230,53 +280,19 @@ def trace_path(trace_dir, name, spec, digest):
     return os.path.join(trace_dir, filename)
 
 
-def _execute_job(
-    name, spec, scale, config, profile_distance, emit_metrics=False, trace_file=None
-):
-    """Worker-side entry point: run one simulation, report its time.
-
-    With ``emit_metrics`` the run carries a verbose
-    :class:`~repro.obs.MetricsAggregator` and its picklable snapshot
-    is shipped back alongside the stats.  With ``trace_file`` a
-    compact lifecycle-events JSONL trace is written there.  Stats are
-    identical either way — the bus sinks only observe.
-    """
-    started = time.perf_counter()
-    if not emit_metrics and trace_file is None:
-        stats = simulate_job(name, spec, scale, config, profile_distance)
-        return stats, None, time.perf_counter() - started
-
-    from repro.obs import (
-        LIFECYCLE_KINDS,
-        EventBus,
-        JsonlTraceWriter,
-        MetricsAggregator,
-    )
-
-    bus = EventBus()
-    aggregator = bus.attach(MetricsAggregator()) if emit_metrics else None
-    writer = None
-    if trace_file is not None:
-        os.makedirs(os.path.dirname(trace_file) or ".", exist_ok=True)
-        # Lifecycle kinds only: figure-scale runs stay compact, and the
-        # filter needs no verbose (per-instruction) emission.
-        writer = bus.attach(
-            JsonlTraceWriter(trace_file, kinds=LIFECYCLE_KINDS), verbose=False
-        )
-    stats = build_core(name, spec, scale, config, profile_distance, bus=bus).run()
-    if writer is not None:
-        writer.close()
-    metrics = aggregator.as_dict() if aggregator is not None else None
-    return stats, metrics, time.perf_counter() - started
-
-
 class ParallelExperimentRunner(ExperimentRunner):
-    """An :class:`ExperimentRunner` with process fan-out and a disk cache.
+    """An :class:`ExperimentRunner` with a grid scheduler and disk cache.
 
     With ``jobs=1`` and no cache directory it behaves exactly like the
-    serial runner (no executor is ever created).  ``prefetch`` is where
-    the parallelism lives; the individual accessors (``baseline``,
+    serial runner (no pool is ever touched).  ``prefetch`` is where the
+    parallelism lives; the individual accessors (``baseline``,
     ``run_policy`` …) stay serial but consult the disk cache.
+
+    Scheduler knobs: ``chunk`` caps grid cells per pool chunk (``None``
+    sizes chunks by estimated cost), ``schedule`` picks cost-ordered or
+    FIFO chunking, ``inline_threshold`` is the trace-length floor below
+    which a cell runs inline in the parent, and ``cpus`` overrides CPU
+    detection (tests force the pool path on single-core machines).
     """
 
     def __init__(
@@ -288,6 +304,10 @@ class ParallelExperimentRunner(ExperimentRunner):
         cache_dir=None,
         emit_metrics=False,
         trace_dir=None,
+        chunk=None,
+        schedule=scheduler.SCHEDULE_COST,
+        inline_threshold=None,
+        cpus=None,
     ):
         keyword_arguments = {}
         if config is not None:
@@ -295,7 +315,21 @@ class ParallelExperimentRunner(ExperimentRunner):
         if workload_names is not None:
             keyword_arguments["workload_names"] = workload_names
         super().__init__(scale=scale, **keyword_arguments)
+        if schedule not in scheduler.SCHEDULES:
+            raise ConfigurationError(
+                "unknown schedule {!r}; choose from {}".format(
+                    schedule, scheduler.SCHEDULES
+                )
+            )
         self.jobs = max(1, int(jobs))
+        self.chunk = chunk
+        self.schedule = schedule
+        self.inline_threshold = (
+            scheduler.INLINE_COST_THRESHOLD
+            if inline_threshold is None
+            else inline_threshold
+        )
+        self.cpus = cpus
         self.cache = ResultCache(cache_dir) if cache_dir else None
         #: Where persisted program analyses live; enables the shared
         #: analysis cache's disk layer in this process and in workers.
@@ -351,7 +385,10 @@ class ParallelExperimentRunner(ExperimentRunner):
         if self.cache is None or self.trace_dir is not None:
             return None
         digest = self._job_digest(name, spec, config, profile_distance)
+        corrupt_before = self.cache.corrupt
         entry = self.cache.load(digest)
+        if self.cache.corrupt > corrupt_before:
+            self.summary.record_corrupt(self.cache.path(digest))
         if entry is None:
             return None
         stats, metrics = entry
@@ -386,7 +423,7 @@ class ParallelExperimentRunner(ExperimentRunner):
         stats = self._load_cached(name, spec, config, profile_distance)
         if stats is not None:
             return stats
-        outcome = _execute_job(
+        outcome = execute_job(
             name,
             spec,
             self.scale,
@@ -400,13 +437,15 @@ class ParallelExperimentRunner(ExperimentRunner):
     # -- fan-out ------------------------------------------------------------------
 
     def prefetch(self, jobs):
-        """Materialize every job's stats, fanning out across workers.
+        """Materialize every job's stats through the grid scheduler.
 
         Disk-cached results are loaded in the parent; only genuinely
-        missing simulations are shipped to the pool.  Results land in
-        the same keyed memo the serial path reads, so downstream table
-        generation is identical regardless of completion order.
-        Returns the number of simulations actually run.
+        missing simulations are scheduled — cheap ones inline, the
+        rest as cost-ordered chunks on the warm worker pool.  Results
+        land in the same keyed memo the serial path reads, so
+        downstream table generation is identical regardless of
+        scheduling decisions or completion order.  Returns the number
+        of simulations actually run.
         """
         started = time.perf_counter()
         pending = []
@@ -431,28 +470,67 @@ class ParallelExperimentRunner(ExperimentRunner):
         return len(pending)
 
     def _fan_out(self, pending):
-        workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(self.analysis_dir,),
-        ) as executor:
-            futures = {
-                executor.submit(
-                    _execute_job,
+        """Schedule ``pending`` cells: inline short-circuit + warm pool.
+
+        Estimating each cell's cost prepares its workload in the
+        parent, which doubles as the fork-start pool's arena warm-up —
+        workers inherit the analyses instead of recomputing them.
+        """
+        costs = [scheduler.job_cost(name, self.scale) for name, _, _, _ in pending]
+        plan = scheduler.plan_grid(
+            pending,
+            costs,
+            self.jobs,
+            max_chunk_jobs=self.chunk,
+            schedule=self.schedule,
+            inline_threshold=self.inline_threshold,
+            cpus=self.cpus,
+        )
+        self.summary.record_schedule(plan)
+
+        for name, spec, config, profile_distance in plan.inline:
+            self.run_with_config(name, spec, config, profile_distance)
+        if not plan.chunks:
+            return
+
+        warmup = sorted({name for chunk in plan.chunks for name, _, _, _ in chunk})
+        pool = scheduler.warm_pool(
+            plan.workers,
+            analysis_dir=self.analysis_dir,
+            warmup=[(name, self.scale) for name in warmup],
+        )
+        futures = {}
+        for chunk in plan.chunks:
+            payload = [
+                (
                     name,
                     spec,
-                    self.scale,
                     config,
                     profile_distance,
-                    self.emit_metrics,
                     self._trace_file(name, spec, config, profile_distance),
-                ): (name, spec, config, profile_distance)
-                for name, spec, config, profile_distance in pending
-            }
-            for future in as_completed(futures):
-                name, spec, config, profile_distance = futures[future]
-                key = self._result_key(name, spec, config, profile_distance)
-                self._results[key] = self._record_result(
-                    name, spec, config, profile_distance, future.result()
                 )
+                for name, spec, config, profile_distance in chunk
+            ]
+            future = pool.submit(
+                scheduler.execute_chunk,
+                self.analysis_dir,
+                self.scale,
+                self.emit_metrics,
+                payload,
+            )
+            futures[future] = chunk
+        try:
+            for future in as_completed(futures):
+                chunk = futures[future]
+                for job, (packed, metrics, seconds) in zip(chunk, future.result()):
+                    name, spec, config, profile_distance = job
+                    stats = scheduler.unpack_stats(packed)
+                    key = self._result_key(name, spec, config, profile_distance)
+                    self._results[key] = self._record_result(
+                        name, spec, config, profile_distance, (stats, metrics, seconds)
+                    )
+        except BrokenProcessPool:
+            # A dead worker poisons the persistent pool; drop it so the
+            # next grid starts from a fresh one.
+            scheduler.shutdown_pool()
+            raise

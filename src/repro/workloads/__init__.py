@@ -20,6 +20,7 @@ from repro.workloads.suite import (
     clear_cache,
     prepare_workload,
     workload_source,
+    workload_trace_length,
 )
 
 __all__ = [
@@ -30,5 +31,6 @@ __all__ = [
     "PreparedWorkload",
     "prepare_workload",
     "workload_source",
+    "workload_trace_length",
     "clear_cache",
 ]

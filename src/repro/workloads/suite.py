@@ -127,6 +127,16 @@ def prepare_workload(name, scale=1.0, use_cache=True):
     return prepared
 
 
+def workload_trace_length(name, scale=1.0):
+    """Committed-trace length of one workload (the scheduler's cost unit).
+
+    Goes through :func:`prepare_workload`, so estimating the cost of a
+    pending grid also prepares the program in the parent — which a
+    fork-start worker pool then inherits for free.
+    """
+    return prepare_workload(name, scale).dynamic_instructions
+
+
 def clear_cache():
     """Drop all cached prepared workloads and the in-memory layer of
     the shared analysis cache (mainly for tests)."""

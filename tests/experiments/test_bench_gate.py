@@ -16,14 +16,20 @@ bench = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(bench)
 
 
-def _report(serial_ips, machine_index=1000.0, jobs4_ips=None):
+def _report(serial_ips, machine_index=1000.0, jobs4_ips=None, cache_lps=None):
     report = {
         "machine_index": machine_index,
         "serial": {"aggregate_ips": serial_ips},
     }
     if jobs4_ips is not None:
         report["jobs4"] = {"ips": jobs4_ips}
+    if cache_lps is not None:
+        report["cache_hit"] = {"loads_per_second": cache_lps}
     return report
+
+
+def _efficiency_report(ratio, mode="pool", cpus=4):
+    return {"efficiency": {"ratio": ratio, "mode": mode, "cpus": cpus}}
 
 
 def test_speedup_is_plain_ratio_on_identical_machines():
@@ -80,3 +86,68 @@ def test_gate_catches_regression_hidden_by_a_faster_machine():
     masked = _report(110.0, machine_index=2000.0)
     failures = bench.check_regression(masked, reference, 0.15)
     assert len(failures) == 1 and failures[0].startswith("serial:")
+
+
+# -- the cache-hit channel --------------------------------------------------------
+
+
+def test_speedup_includes_cache_hit_only_when_both_sides_have_it():
+    with_cache = _report(100.0, cache_lps=5000.0)
+    without_cache = _report(100.0)
+    assert "cache_hit" in bench.speedup_vs_baseline(with_cache, with_cache)
+    assert "cache_hit" not in bench.speedup_vs_baseline(with_cache, without_cache)
+    assert "cache_hit" not in bench.speedup_vs_baseline(without_cache, with_cache)
+
+
+def test_gate_catches_cache_hit_regression():
+    reference = _report(100.0, cache_lps=5000.0)
+    regressed = _report(100.0, cache_lps=2000.0)
+    failures = bench.check_regression(regressed, reference, 0.15)
+    assert len(failures) == 1 and failures[0].startswith("cache_hit:")
+    assert bench.check_regression(reference, reference, 0.15) == []
+
+
+# -- the parallel-efficiency gate -------------------------------------------------
+
+
+def test_efficiency_gate_passes_above_floor_in_pool_mode():
+    assert bench.check_efficiency(_efficiency_report(1.5), floor=1.2) == []
+    assert bench.check_efficiency(_efficiency_report(1.2), floor=1.2) == []
+
+
+def test_efficiency_gate_fails_below_floor_in_pool_mode():
+    failures = bench.check_efficiency(_efficiency_report(1.05), floor=1.2)
+    assert len(failures) == 1
+    assert "parallel efficiency" in failures[0]
+    assert "1.05x" in failures[0]
+
+
+def test_efficiency_gate_bounds_overhead_in_inline_mode():
+    """On one core the scheduler short-circuits the pool; the gate then
+    only bounds its overhead rather than demanding a speedup."""
+    parity = _efficiency_report(0.99, mode="inline", cpus=1)
+    assert bench.check_efficiency(parity, floor=1.2, single_core_floor=0.8) == []
+    slow = _efficiency_report(0.5, mode="inline", cpus=1)
+    failures = bench.check_efficiency(slow, floor=1.2, single_core_floor=0.8)
+    assert len(failures) == 1 and "inline short-circuit" in failures[0]
+
+
+def test_efficiency_gate_skips_reports_without_the_section():
+    assert bench.check_efficiency({"serial": {}}) == []
+
+
+def test_markdown_summary_contains_normalized_rows():
+    report = {
+        "scale": 0.5,
+        "policy": "control-equivalent",
+        "machine_index": 1000.0,
+        "serial": {"aggregate_ips": 500.0},
+        "jobs4": {"jobs": 4, "mode": "pool", "cpus": 4, "ips": 900.0},
+        "efficiency": {"ratio": 1.8, "mode": "pool", "cpus": 4},
+        "cache_hit": {"loads_per_second": 4000.0},
+    }
+    rendered = bench.render_markdown_summary(report)
+    assert "| serial throughput | 500 ips | 0.500000 |" in rendered
+    assert "pool mode, 4 CPUs" in rendered
+    assert "| parallel efficiency (serial wall / jobs4 wall) | 1.80x" in rendered
+    assert "| warm cache replay | 4000 loads/s | 4.000000 |" in rendered

@@ -64,12 +64,12 @@ def test_fig12_parallel_matches_serial(serial, tmp_path):
 
 
 def test_jobs_1_uses_serial_path(tmp_path, monkeypatch):
-    from repro.experiments import parallel as parallel_module
+    from repro.experiments import scheduler
 
     def _no_pool(*args, **kwargs):
         raise AssertionError("jobs=1 must never create a process pool")
 
-    monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", _no_pool)
+    monkeypatch.setattr(scheduler, "warm_pool", _no_pool)
     runner = _parallel(tmp_path, jobs=1)
     ran = runner.prefetch([("gzip", "postdoms"), ("gzip", SUPERSCALAR_SPEC)])
     assert ran == 2
@@ -135,6 +135,37 @@ def test_cache_survives_corrupt_entry(tmp_path):
     with open(recovered.cache.path(digest), "rb") as handle:
         entry = pickle.load(handle)
     assert entry["meta"]["workload"] == "gzip"
+
+
+def test_cache_load_distinguishes_missing_from_corrupt(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    digest = "ab" + "0" * 62
+    assert cache.load(digest) is None
+    assert (cache.misses, cache.corrupt) == (1, 0)
+
+    os.makedirs(os.path.dirname(cache.path(digest)), exist_ok=True)
+    with open(cache.path(digest), "wb") as handle:
+        handle.write(b"garbage\n")
+    assert cache.load(digest) is None
+    assert (cache.misses, cache.corrupt) == (1, 1)
+    assert cache.corrupt_paths == [cache.path(digest)]
+
+
+def test_corrupt_entry_surfaced_in_run_summary(tmp_path):
+    runner = _parallel(tmp_path, jobs=1)
+    runner.prefetch([("gzip", "postdoms")])
+    digest = job_digest(
+        "gzip", "postdoms", _SCALE, PAPER_CONFIG, PAPER_CONFIG.max_spawn_distance
+    )
+    with open(runner.cache.path(digest), "wb") as handle:
+        handle.write(b"garbage\n")
+
+    recovered = _parallel(tmp_path, jobs=1)
+    assert recovered.prefetch([("gzip", "postdoms")]) == 1
+    assert recovered.summary.corrupt_entries == [recovered.cache.path(digest)]
+    rendered = recovered.summary.render()
+    assert "1 corrupt cache entries re-simulated" in rendered
+    assert recovered.cache.path(digest) in rendered
 
 
 def test_job_digest_sensitivity():

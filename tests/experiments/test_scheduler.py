@@ -1,0 +1,254 @@
+"""Tests for the batched grid scheduler.
+
+Covers the pure planning functions (cost ordering, chunk packing,
+inline split), the slim stat transport, and the integrated runner
+behaviour: bit-identical results across ``--jobs`` values and chunk
+sizes, warm-pool reuse across consecutive ``prefetch`` calls, and the
+inline short-circuit for cheap and cache-hit-only grids.
+
+The pool-path tests pass ``cpus=4`` so they exercise real worker
+processes even on single-core CI machines (where the scheduler would
+otherwise — correctly — short-circuit the pool).
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import scheduler
+from repro.experiments.parallel import ParallelExperimentRunner, trace_path, job_digest
+from repro.experiments.runner import ExperimentRunner, SUPERSCALAR_SPEC
+from repro.polyflow import PAPER_CONFIG
+from repro.workloads import clear_cache, workload_trace_length
+
+_SCALE = 0.1
+_NAMES = ("gzip", "twolf")
+_GRID = [
+    ("gzip", "postdoms"),
+    ("gzip", "loop"),
+    ("gzip", SUPERSCALAR_SPEC),
+    ("twolf", "postdoms"),
+    ("twolf", SUPERSCALAR_SPEC),
+]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_workloads():
+    clear_cache()
+    yield
+    scheduler.shutdown_pool()
+
+
+def _runner(**kwargs):
+    return ParallelExperimentRunner(
+        scale=_SCALE, workload_names=_NAMES, **kwargs
+    )
+
+
+def _grid_stats(runner):
+    runner.prefetch(_GRID)
+    return {
+        (name, spec): runner.run_policy(name, spec).as_dict()
+        if spec != SUPERSCALAR_SPEC
+        else runner.baseline(name).as_dict()
+        for name, spec in _GRID
+    }
+
+
+# -- cost model -------------------------------------------------------------------
+
+
+def test_job_cost_is_trace_length():
+    assert scheduler.job_cost("gzip", _SCALE) == workload_trace_length(
+        "gzip", _SCALE
+    )
+    assert scheduler.job_cost("gzip", _SCALE) > 0
+
+
+# -- chunk planning (pure) --------------------------------------------------------
+
+
+def _jobs(costs):
+    return [("job{}".format(i),) for i in range(len(costs))]
+
+
+def test_plan_chunks_orders_longest_first():
+    costs = [10, 500, 20, 400, 30]
+    chunks = scheduler.plan_chunks(_jobs(costs), costs, workers=2)
+    cost_of = dict(zip(_jobs(costs), costs))
+    chunk_costs = [sum(cost_of[job] for job in chunk) for chunk in chunks]
+    assert chunk_costs == sorted(chunk_costs, reverse=True)
+    # The most expensive cell is in the first chunk shipped.
+    assert ("job1",) in chunks[0]
+
+
+def test_plan_chunks_is_deterministic_and_complete():
+    costs = [7, 7, 7, 100, 3, 50, 50]
+    first = scheduler.plan_chunks(_jobs(costs), costs, workers=2)
+    second = scheduler.plan_chunks(_jobs(costs), costs, workers=2)
+    assert first == second
+    flattened = [job for chunk in first for job in chunk]
+    assert sorted(flattened) == sorted(_jobs(costs))
+
+
+def test_plan_chunks_coalesces_cheap_cells():
+    # 8 equal cheap cells, 2 workers -> budget is total/8, so cells stay
+    # separate; with 1 worker budget doubles and pairs coalesce.
+    costs = [10] * 8
+    wide = scheduler.plan_chunks(_jobs(costs), costs, workers=2)
+    narrow = scheduler.plan_chunks(_jobs(costs), costs, workers=1)
+    assert len(wide) == 8
+    assert len(narrow) == 4
+    assert all(len(chunk) == 2 for chunk in narrow)
+
+
+def test_plan_chunks_respects_cap():
+    costs = [10] * 8
+    chunks = scheduler.plan_chunks(
+        _jobs(costs), costs, workers=1, max_chunk_jobs=3
+    )
+    assert max(len(chunk) for chunk in chunks) <= 3
+
+
+def test_plan_chunks_fifo_keeps_grid_order():
+    costs = [1, 100, 1, 100]
+    chunks = scheduler.plan_chunks(
+        _jobs(costs), costs, workers=2, max_chunk_jobs=2, schedule="fifo"
+    )
+    assert chunks == [[("job0",), ("job1",)], [("job2",), ("job3",)]]
+
+
+def test_plan_chunks_rejects_unknown_schedule():
+    with pytest.raises(ConfigurationError):
+        scheduler.plan_chunks([("a",)], [1], workers=1, schedule="random")
+
+
+def test_split_inline_thresholds():
+    jobs = _jobs([10, 5000, 6000, 20])
+    costs = [10, 5000, 6000, 20]
+    inline, pooled, pooled_costs = scheduler.split_inline(
+        jobs, costs, workers=4, inline_threshold=100
+    )
+    assert inline == [("job0",), ("job3",)]
+    assert pooled == [("job1",), ("job2",)]
+    assert pooled_costs == [5000, 6000]
+
+
+def test_split_inline_short_circuits_single_worker_and_tiny_grids():
+    jobs = _jobs([5000, 6000])
+    # One worker: pooling can only add overhead.
+    inline, pooled, _ = scheduler.split_inline(jobs, [5000, 6000], workers=1)
+    assert (inline, pooled) == (jobs, [])
+    # Only one pool-worthy cell: not worth a pool either.
+    jobs3 = _jobs([5000, 10, 20])
+    inline, pooled, _ = scheduler.split_inline(
+        jobs3, [5000, 10, 20], workers=4, inline_threshold=100
+    )
+    assert (inline, pooled) == (jobs3, [])
+
+
+def test_plan_grid_caps_workers_at_cpus():
+    jobs = _jobs([5000, 6000, 7000])
+    plan = scheduler.plan_grid(jobs, [5000, 6000, 7000], 8, cpus=1)
+    assert plan.chunks == [] and plan.inline == jobs and plan.workers == 0
+    plan = scheduler.plan_grid(jobs, [5000, 6000, 7000], 8, cpus=4)
+    assert plan.pooled_jobs == 3
+    assert plan.workers <= 4
+    assert "pooled" in plan.describe()
+
+
+# -- slim transport ---------------------------------------------------------------
+
+
+def test_pack_unpack_round_trips_stats():
+    from repro.experiments.runner import simulate_job
+
+    stats = simulate_job("gzip", "postdoms", _SCALE, PAPER_CONFIG)
+    clone = scheduler.unpack_stats(scheduler.pack_stats(stats))
+    assert clone.as_dict() == stats.as_dict()
+    assert vars(clone).keys() == vars(stats).keys()
+    # The reconstructed counter dict keeps defaultdict semantics.
+    assert clone.spawns_by_category[object()] == 0
+
+
+# -- integrated runner behaviour --------------------------------------------------
+
+
+def test_results_bit_identical_across_jobs_and_chunks():
+    serial = _grid_stats(ExperimentRunner(scale=_SCALE, workload_names=_NAMES))
+    for jobs, chunk, schedule in (
+        (4, None, "cost"),
+        (4, 1, "cost"),
+        (2, 2, "cost"),
+        (4, None, "fifo"),
+    ):
+        runner = _runner(
+            jobs=jobs, chunk=chunk, schedule=schedule, cpus=4, inline_threshold=1
+        )
+        assert _grid_stats(runner) == serial, (jobs, chunk, schedule)
+        assert runner.summary.chunks_shipped > 0, (jobs, chunk, schedule)
+
+
+def test_warm_pool_reused_across_prefetch_calls_and_runners():
+    scheduler.shutdown_pool()
+    starts_before = scheduler.pool_starts()
+    runner = _runner(jobs=2, cpus=4, inline_threshold=1)
+    runner.prefetch(_GRID[:3])
+    runner.prefetch(_GRID)
+    second = _runner(jobs=2, cpus=4, inline_threshold=1)
+    second.prefetch([("twolf", "loop"), ("gzip", "hammock")])
+    assert scheduler.pool_starts() == starts_before + 1
+
+
+def test_cheap_grid_never_touches_the_pool(monkeypatch):
+    def _no_pool(*args, **kwargs):
+        raise AssertionError("cheap grids must run inline")
+
+    monkeypatch.setattr(scheduler, "warm_pool", _no_pool)
+    # scale-0.1 traces are a few thousand instructions: below the
+    # default inline threshold, so even jobs=4 with 4 CPUs stays inline.
+    runner = _runner(jobs=4, cpus=4)
+    ran = runner.prefetch(_GRID)
+    assert ran == len(_GRID)
+    assert runner.summary.inline_jobs == len(_GRID)
+    assert runner.summary.chunks_shipped == 0
+
+
+def test_cache_hit_only_grid_short_circuits(tmp_path, monkeypatch):
+    cache_dir = str(tmp_path / "cache")
+    warm = _runner(jobs=1, cache_dir=cache_dir)
+    warm.prefetch(_GRID)
+
+    def _no_pool(*args, **kwargs):
+        raise AssertionError("cache-hit-only grids must not spin up a pool")
+
+    monkeypatch.setattr(scheduler, "warm_pool", _no_pool)
+    replay = _runner(jobs=4, cpus=4, inline_threshold=1, cache_dir=cache_dir)
+    ran = replay.prefetch(_GRID)
+    assert ran == 0
+    assert replay.summary.cache_hits == len(_GRID)
+    assert replay.summary.jobs_run == 0
+
+
+def test_pooled_traces_byte_identical_to_inline(tmp_path):
+    serial_dir = tmp_path / "serial"
+    pooled_dir = tmp_path / "pooled"
+    cases = [("gzip", "postdoms")]
+    serial = _runner(jobs=1, trace_dir=str(serial_dir))
+    serial.prefetch(cases)
+    pooled = _runner(
+        jobs=4, cpus=4, inline_threshold=1, chunk=1, trace_dir=str(pooled_dir)
+    )
+    pooled.prefetch(cases)
+    for name, spec in cases:
+        digest = job_digest(
+            name, spec, _SCALE, PAPER_CONFIG, PAPER_CONFIG.max_spawn_distance
+        )
+        with open(trace_path(str(serial_dir), name, spec, digest)) as handle:
+            expected = handle.read()
+        with open(trace_path(str(pooled_dir), name, spec, digest)) as handle:
+            assert handle.read() == expected
+
+
+def test_runner_rejects_unknown_schedule():
+    with pytest.raises(ConfigurationError):
+        _runner(jobs=2, schedule="alphabetical")
