@@ -39,6 +39,7 @@ from repro.experiments import scheduler
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scheduler import execute_job
 from repro.polyflow.config import config_fingerprint
+from repro.sim.blocks import BLOCK_CACHE_KEYS
 from repro.spawn import canonical_spec
 
 #: Bump to invalidate every existing cache entry (e.g. when the
@@ -192,6 +193,9 @@ class RunSummary:
         self.pool_workers = 0
         #: Corrupt cache entries encountered (re-simulated, but surfaced).
         self.corrupt_entries = []
+        #: Accumulated block-cache counter movement across every
+        #: simulation this summary booked (parent and workers alike).
+        self.block_cache = {key: 0 for key in BLOCK_CACHE_KEYS}
 
     def record_job(self, name, spec, seconds):
         self.jobs_run += 1
@@ -219,6 +223,14 @@ class RunSummary:
     def record_metrics(self, spec, snapshot):
         """Collect one worker's aggregator snapshot under its policy spec."""
         self.metrics_snapshots.setdefault(spec, []).append(snapshot)
+
+    def record_block_cache(self, delta):
+        """Accumulate one job's block-cache counter movement."""
+        if not delta:
+            return
+        for key, value in delta.items():
+            if key in self.block_cache:
+                self.block_cache[key] += value
 
     def merged_metrics(self):
         """Per-policy merged attribution metrics (``{spec: snapshot}``)."""
@@ -253,6 +265,13 @@ class RunSummary:
             lines.append(
                 "  schedule: {} inline, {} chunks across {} pool workers".format(
                     self.inline_jobs, self.chunks_shipped, self.pool_workers
+                )
+            )
+        if any(self.block_cache.values()):
+            lines.append(
+                "  block cache: {table_hits} table hits / {table_misses} compiles, "
+                "{program_hits} program hits / {program_misses} builds".format(
+                    **self.block_cache
                 )
             )
         if self.corrupt_entries:
@@ -412,8 +431,9 @@ class ParallelExperimentRunner(ExperimentRunner):
 
     def _record_result(self, name, spec, config, profile_distance, outcome):
         """Book one finished simulation: summary, metrics, disk cache."""
-        stats, metrics, seconds = outcome
+        stats, metrics, seconds, blocks = outcome
         self.summary.record_job(name, self._job_label(spec, config), seconds)
+        self.summary.record_block_cache(blocks)
         if metrics is not None:
             self.summary.record_metrics(self._job_label(spec, config), metrics)
         self._store_cached(name, spec, config, profile_distance, stats, metrics)
@@ -522,12 +542,18 @@ class ParallelExperimentRunner(ExperimentRunner):
         try:
             for future in as_completed(futures):
                 chunk = futures[future]
-                for job, (packed, metrics, seconds) in zip(chunk, future.result()):
+                for job, (packed, metrics, seconds, blocks) in zip(
+                    chunk, future.result()
+                ):
                     name, spec, config, profile_distance = job
                     stats = scheduler.unpack_stats(packed)
                     key = self._result_key(name, spec, config, profile_distance)
                     self._results[key] = self._record_result(
-                        name, spec, config, profile_distance, (stats, metrics, seconds)
+                        name,
+                        spec,
+                        config,
+                        profile_distance,
+                        (stats, metrics, seconds, blocks),
                     )
         except BrokenProcessPool:
             # A dead worker poisons the persistent pool; drop it so the

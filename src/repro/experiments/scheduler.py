@@ -199,9 +199,12 @@ def plan_chunks(jobs, costs, workers, max_chunk_jobs=None, schedule=SCHEDULE_COS
     list is ordered by descending total cost, which eliminates the
     straggler tail: the most expensive work is in flight first.
 
-    ``max_chunk_jobs`` (the ``--chunk`` knob) caps cells per chunk.
-    :data:`SCHEDULE_FIFO` keeps grid order with fixed-size chunks.
-    The plan is a pure function of its inputs — same grid, same plan.
+    ``max_chunk_jobs`` (the ``--chunk`` knob) caps cells per chunk; a
+    cap at or above the grid size is vacuous and ignored, so an
+    oversized ``--chunk`` never collapses the grid into one chunk on
+    one worker.  :data:`SCHEDULE_FIFO` keeps grid order with fixed-size
+    chunks.  The plan is a pure function of its inputs — same grid,
+    same plan.
     """
     if schedule not in SCHEDULES:
         raise ConfigurationError(
@@ -210,6 +213,8 @@ def plan_chunks(jobs, costs, workers, max_chunk_jobs=None, schedule=SCHEDULE_COS
     if not jobs:
         return []
     cap = max_chunk_jobs if max_chunk_jobs and max_chunk_jobs > 0 else None
+    if cap is not None and cap >= len(jobs):
+        cap = None
     if schedule == SCHEDULE_FIFO:
         size = cap or max(1, -(-len(jobs) // max(1, workers * OVERPARTITION)))
         return [list(jobs[i : i + size]) for i in range(0, len(jobs), size)]
@@ -246,9 +251,13 @@ def plan_grid(
     single-core machines with it); by default the effective worker
     count is capped at the process's usable CPUs, so ``--jobs 4`` on a
     one-core container degrades to the inline path instead of forking
-    workers that can only time-slice.
+    workers that can only time-slice.  An empty grid yields an empty
+    plan (no inline cells, no chunks, zero workers) without consulting
+    the cost model.
     """
     cpus = usable_cpus() if cpus is None else cpus
+    if not jobs:
+        return GridSchedule([], [], 0, schedule, cpus)
     workers = max(1, min(jobs_requested, cpus))
     inline, pooled, pooled_costs = split_inline(
         jobs, costs, workers, inline_threshold
@@ -280,19 +289,23 @@ def _init_worker(analysis_dir, warmup):
     """Pool initializer: arenas once per worker, not once per job.
 
     Enables the on-disk analysis layer and pre-materializes the
-    analyses/predecode arenas of every workload the first grid needs.
-    Under a fork start the parent prepared them while estimating costs,
-    so this is a memo hit; under spawn it loads them from disk.  A
-    workload that fails to prepare is left for its chunk to report —
-    an initializer exception would break the whole pool.
+    analyses/predecode arenas — and the block engine's compiled tables
+    — of every workload the first grid needs.  Under a fork start the
+    parent prepared them while estimating costs, so this is a memo hit;
+    under spawn it loads them from disk.  A workload that fails to
+    prepare is left for its chunk to report — an initializer exception
+    would break the whole pool.
     """
     if analysis_dir is not None:
         configure_disk_cache(analysis_dir)
+    from repro.sim.blocks import block_table_for, program_blocks_for
     from repro.workloads import prepare_workload
 
     for name, scale in warmup:
         try:
-            prepare_workload(name, scale)
+            prepared = prepare_workload(name, scale)
+            block_table_for(prepared.trace)
+            program_blocks_for(prepared.program)
         except Exception:
             pass
 
@@ -349,20 +362,27 @@ atexit.register(shutdown_pool)
 def execute_job(
     name, spec, scale, config, profile_distance, emit_metrics=False, trace_file=None
 ):
-    """Run one simulation, reporting ``(stats, metrics, seconds)``.
+    """Run one simulation, reporting ``(stats, metrics, seconds, blocks)``.
 
-    With ``emit_metrics`` the run carries a verbose
-    :class:`~repro.obs.MetricsAggregator` and its picklable snapshot is
-    shipped back alongside the stats.  With ``trace_file`` a compact
-    lifecycle-events JSONL trace is written there.  Stats are identical
-    either way — the bus sinks only observe.
+    ``blocks`` is the job's block-cache counter movement (see
+    :func:`repro.sim.blocks.counters_delta`): a warm worker reports
+    table hits, a cold one the compile misses the job paid.  With
+    ``emit_metrics`` the run carries a verbose
+    :class:`~repro.obs.MetricsAggregator` and its picklable snapshot —
+    stamped with the same block-cache delta — is shipped back alongside
+    the stats.  With ``trace_file`` a compact lifecycle-events JSONL
+    trace is written there.  Stats are identical either way — the bus
+    sinks only observe.
     """
     from repro.experiments.runner import build_core, simulate_job
+    from repro.sim.blocks import cache_counters, counters_delta
 
     started = time.perf_counter()
+    counters_before = cache_counters()
     if not emit_metrics and trace_file is None:
         stats = simulate_job(name, spec, scale, config, profile_distance)
-        return stats, None, time.perf_counter() - started
+        blocks = counters_delta(counters_before)
+        return stats, None, time.perf_counter() - started, blocks
 
     from repro.obs import (
         LIFECYCLE_KINDS,
@@ -384,8 +404,12 @@ def execute_job(
     stats = build_core(name, spec, scale, config, profile_distance, bus=bus).run()
     if writer is not None:
         writer.close()
-    metrics = aggregator.as_dict() if aggregator is not None else None
-    return stats, metrics, time.perf_counter() - started
+    blocks = counters_delta(counters_before)
+    metrics = None
+    if aggregator is not None:
+        aggregator.record_block_cache(blocks)
+        metrics = aggregator.as_dict()
+    return stats, metrics, time.perf_counter() - started, blocks
 
 
 def execute_chunk(analysis_dir, scale, emit_metrics, chunk):
@@ -393,16 +417,16 @@ def execute_chunk(analysis_dir, scale, emit_metrics, chunk):
 
     ``chunk`` is a list of ``(name, spec, config, profile_distance,
     trace_file)`` tuples; the return value is the aligned list of
-    ``(packed_stats, metrics, seconds)`` outcomes.  The disk-cache
-    configuration is re-asserted per chunk because the warm pool
-    outlives any single runner (whose cache directory may differ).
+    ``(packed_stats, metrics, seconds, blocks)`` outcomes.  The
+    disk-cache configuration is re-asserted per chunk because the warm
+    pool outlives any single runner (whose cache directory may differ).
     """
     if analysis_dir is not None:
         configure_disk_cache(analysis_dir)
     results = []
     for name, spec, config, profile_distance, trace_file in chunk:
-        stats, metrics, seconds = execute_job(
+        stats, metrics, seconds, blocks = execute_job(
             name, spec, scale, config, profile_distance, emit_metrics, trace_file
         )
-        results.append((pack_stats(stats), metrics, seconds))
+        results.append((pack_stats(stats), metrics, seconds, blocks))
     return results

@@ -22,6 +22,7 @@ Supported directives: ``.text``, ``.data``, ``.word`` (8-byte values),
 between operands are optional.
 """
 
+import hashlib
 import re
 
 from repro.errors import AssemblyError
@@ -165,7 +166,18 @@ class Assembler:
             if entry_label not in symbols:
                 raise AssemblyError("entry label {!r} is undefined".format(entry_label))
             entry_point = symbols[entry_label]
-        return Program(instructions, symbols, data_image, entry_point)
+        program = Program(instructions, symbols, data_image, entry_point)
+        # Seed the program's memoized content key: the source plus the
+        # assembly parameters fully determine the program, and every
+        # content-keyed cache downstream reuses this one hash.
+        hasher = hashlib.sha256(source.encode("utf-8"))
+        hasher.update(
+            "|{}|{}|{}".format(
+                self.text_base, self.data_base, entry_point
+            ).encode("utf-8")
+        )
+        program._content_digest = hasher.hexdigest()
+        return program
 
     def _statement_size(self, line):
         """Return (segment_advance, is_text) for a statement in pass one."""

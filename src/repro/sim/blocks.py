@@ -1,0 +1,329 @@
+"""Superblock segmentation: the block-at-a-time execution engine's tables.
+
+Both simulation engines historically paid per-instruction Python
+dispatch for every committed instruction, even though the committed
+trace between a branch and its ipdom is straight-line and replayed
+thousands of times across the experiment grid.  This module compiles
+those straight-line regions once per program/trace into *block tables*
+the hot loops can consume block-at-a-time:
+
+* :class:`BlockTable` — per-trace-index tables for the timing kernel
+  (:mod:`repro.polyflow.core`): the maximal straight-line *run* from
+  every index (``batch_end``), the static register-consumer adjacency
+  used for completion wake-up (``reg_consumers``), and per-superblock
+  aggregates (instruction count, latency-class mix, memory-effect
+  summary, event deltas).
+* :class:`ProgramBlocks` — per-PC straight-line blocks of pre-decoded
+  operand records for the functional interpreter
+  (:mod:`repro.sim.functional`), so the architectural replay loop skips
+  the per-instruction fetch-dict lookup.
+
+A *superblock* is bounded by control transfers (any non-``KIND_PLAIN``
+instruction), by I-cache line boundaries (so the timing engine's single
+line probe at the block head covers the whole block), and — in the
+per-core overlay built by :class:`~repro.polyflow.core.PolyFlowCore` —
+by spawn-candidate PCs (the policy's ipdom reconvergence points), which
+must take the per-instruction path so spawn decisions still fire.
+
+Tables are **content-keyed**: they are memoized on the trace/program
+objects held by :class:`~repro.analysis.pipeline.ProgramAnalyses`,
+which :class:`~repro.analysis.pipeline.AnalysisCache` dedupes by source
+digest and persists through its on-disk pickle layer — a warm worker
+pool therefore inherits compiled tables instead of rebuilding them.
+Module-level counters track table reuse; the parallel runner surfaces
+them through ``RunSummary`` and ``MetricsAggregator``.
+
+The engine is on by default and can be disabled process-wide with
+``REPRO_BLOCK_ENGINE=0`` (the equivalence suites prove byte-identical
+event streams and stats either way).
+"""
+
+import os
+
+from repro.isa.instructions import INSTRUCTION_BYTES, Opcode
+from repro.sim.predecode import LAT_LOAD, LAT_MUL, LAT_STORE
+
+#: L1 I-cache line size of the default
+#: :class:`~repro.memory.hierarchy.CacheHierarchy` (128-byte lines).
+#: Superblocks never cross a line so the timing engine's single
+#: line-address probe at the block head covers every instruction in it.
+ICACHE_LINE_BYTES = 128
+
+_LINE_SHIFT = ICACHE_LINE_BYTES.bit_length() - 1
+
+#: Bump when the compiled table layout changes: persisted tables ride
+#: inside analysis pickles, and a stale layout must read as a miss.
+BLOCK_FORMAT_VERSION = 1
+
+#: Environment toggle: set to ``"0"`` to disable the block engine.
+BLOCK_ENGINE_ENV = "REPRO_BLOCK_ENGINE"
+
+#: Counter names reported by :func:`cache_counters`.
+BLOCK_CACHE_KEYS = ("table_hits", "table_misses", "program_hits", "program_misses")
+
+_COUNTERS = {key: 0 for key in BLOCK_CACHE_KEYS}
+
+# Functional-side block enders: every opcode up to the last store falls
+# through, as does NOP; branches, jumps, calls, returns and HALT end a
+# straight-line block.
+_LAST_PLAIN_OPCODE = int(Opcode.SB)
+_NOP_OPCODE = int(Opcode.NOP)
+
+
+def engine_enabled_default():
+    """Whether cores default to the block engine (see BLOCK_ENGINE_ENV)."""
+    return os.environ.get(BLOCK_ENGINE_ENV, "1") != "0"
+
+
+def cache_counters():
+    """Snapshot of the process-wide block-cache hit/miss counters."""
+    return dict(_COUNTERS)
+
+
+def counters_delta(before, after=None):
+    """Counter movement between two :func:`cache_counters` snapshots."""
+    if after is None:
+        after = cache_counters()
+    return {key: after[key] - before.get(key, 0) for key in BLOCK_CACHE_KEYS}
+
+
+def reset_cache_counters():
+    """Zero the block-cache counters (tests and fresh run summaries)."""
+    for key in BLOCK_CACHE_KEYS:
+        _COUNTERS[key] = 0
+
+
+class BlockTable:
+    """Compiled superblock tables of one committed trace.
+
+    ``batch_end[i]`` is the end (exclusive) of the maximal straight-line
+    run starting at trace index ``i``: every index in ``[i,
+    batch_end[i])`` is ``KIND_PLAIN`` and shares ``i``'s I-cache line
+    (``batch_end[i] == i`` when ``i`` itself is a control transfer).
+    The backward-pass construction makes the table valid from *any*
+    start index, so a task that stops fetching mid-block (budget or
+    capacity) resumes with a correct run bound.
+
+    ``reg_consumers[p]`` lists every trace index naming ``p`` as a
+    source-register producer, one entry per dependence slot in trace
+    order (an index consuming ``p`` through both sources appears
+    twice) — the fused engine's completion wake-up walks this static
+    adjacency instead of registering consumers in a dict per fetch.
+
+    ``batch_deps[i]`` fuses the dependence sources of index ``i`` into
+    one tuple ``(dep0, dep1, mem_dep-if-load-else--1)`` so the batched
+    fetch loop performs a single indexed load per instruction instead
+    of probing three parallel arrays plus the latency class.
+
+    ``starts``/``aggregates`` summarize each superblock:
+    ``aggregates[b]`` is ``(length, muls, loads, stores)`` for the
+    block at ``starts[b]``.
+    """
+
+    __slots__ = (
+        "length",
+        "batch_end",
+        "reg_consumers",
+        "batch_deps",
+        "starts",
+        "aggregates",
+        "version",
+    )
+
+    def __init__(self, length, batch_end, reg_consumers, batch_deps, starts, aggregates):
+        self.length = length
+        self.batch_end = batch_end
+        self.reg_consumers = reg_consumers
+        self.batch_deps = batch_deps
+        self.starts = starts
+        self.aggregates = aggregates
+        self.version = BLOCK_FORMAT_VERSION
+
+    def block_count(self):
+        return len(self.starts)
+
+    def issue_cost(self, block, mul_latency=1):
+        """Summed issue latency of one block under ``mul_latency``
+        (loads/stores modelled at their 1-cycle occupancy; memory
+        latency is dynamic and not part of the static aggregate)."""
+        length, muls, _loads, _stores = self.aggregates[block]
+        return length + muls * (mul_latency - 1)
+
+    def event_delta(self, block):
+        """Scheduler events one block contributes (a ready and a
+        completion per instruction)."""
+        return 2 * self.aggregates[block][0]
+
+    def describe(self):
+        """Summary dict (diagnostics, docs, and the property tests)."""
+        lengths = [aggregate[0] for aggregate in self.aggregates]
+        mem_ops = sum(aggregate[2] + aggregate[3] for aggregate in self.aggregates)
+        return {
+            "instructions": self.length,
+            "blocks": len(self.starts),
+            "mean_block_length": (sum(lengths) / len(lengths)) if lengths else 0.0,
+            "max_block_length": max(lengths, default=0),
+            "mem_ops": mem_ops,
+            "version": self.version,
+        }
+
+
+def build_block_table(decoded):
+    """Compile the :class:`BlockTable` of one decoded trace (one pass
+    each for runs, adjacency, and aggregates)."""
+    count = decoded.length
+    kinds = decoded.kind
+    pcs = decoded.pc
+    dep0 = decoded.dep0
+    dep1 = decoded.dep1
+    lats = decoded.lat
+
+    batch_end = [0] * count
+    for index in range(count - 1, -1, -1):
+        if kinds[index]:
+            batch_end[index] = index
+            continue
+        following = index + 1
+        if (
+            following < count
+            and not kinds[following]
+            and (pcs[following] >> _LINE_SHIFT) == (pcs[index] >> _LINE_SHIFT)
+        ):
+            batch_end[index] = batch_end[following]
+        else:
+            batch_end[index] = following
+
+    consumer_lists = [None] * count
+    for index in range(count):
+        producer = dep0[index]
+        if producer >= 0:
+            bucket = consumer_lists[producer]
+            if bucket is None:
+                consumer_lists[producer] = [index]
+            else:
+                bucket.append(index)
+        producer = dep1[index]
+        if producer >= 0:
+            bucket = consumer_lists[producer]
+            if bucket is None:
+                consumer_lists[producer] = [index]
+            else:
+                bucket.append(index)
+    empty = ()
+    reg_consumers = [tuple(bucket) if bucket else empty for bucket in consumer_lists]
+
+    mem_dep = decoded.mem_dep
+    batch_deps = [
+        (
+            dep0[index],
+            dep1[index],
+            mem_dep[index] if lats[index] == LAT_LOAD else -1,
+        )
+        for index in range(count)
+    ]
+
+    starts = []
+    aggregates = []
+    index = 0
+    while index < count:
+        end = batch_end[index]
+        if end <= index:
+            end = index + 1
+        muls = 0
+        loads = 0
+        stores = 0
+        for position in range(index, end):
+            lat = lats[position]
+            if lat == LAT_MUL:
+                muls += 1
+            elif lat == LAT_LOAD:
+                loads += 1
+            elif lat == LAT_STORE:
+                stores += 1
+        starts.append(index)
+        aggregates.append((end - index, muls, loads, stores))
+        index = end
+
+    return BlockTable(count, batch_end, reg_consumers, batch_deps, starts, aggregates)
+
+
+def block_table_for(trace):
+    """The (memoized) :class:`BlockTable` of ``trace``.
+
+    The memo lives on the trace object itself, so every core built on
+    the same trace — and every process unpickling the same
+    :class:`~repro.analysis.pipeline.ProgramAnalyses` from the analysis
+    cache's disk layer — shares one compiled table.
+    """
+    table = getattr(trace, "_block_table", None)
+    if table is not None and table.version == BLOCK_FORMAT_VERSION:
+        _COUNTERS["table_hits"] += 1
+        return table
+    _COUNTERS["table_misses"] += 1
+    table = build_block_table(trace.decoded())
+    trace._block_table = table
+    return table
+
+
+class ProgramBlocks:
+    """Per-PC straight-line blocks for the functional interpreter.
+
+    ``block_at(pc)`` returns a tuple of extended pre-decode records
+    ``(opcode, rd, rs, rt, imm, target, nsrc, inst, fall_through)`` —
+    the straight-line run starting at ``pc`` up to and including its
+    first control transfer (or the last decodable instruction).  Blocks
+    are built lazily per entry PC and memoized, so only PCs the program
+    actually jumps to are compiled.
+    """
+
+    __slots__ = ("_decoded", "_blocks")
+
+    def __init__(self, program):
+        from repro.sim.predecode import decode_program
+
+        self._decoded = decode_program(program)
+        self._blocks = {}
+
+    def block_at(self, pc):
+        """The compiled block starting at ``pc`` (``None`` if ``pc``
+        does not decode)."""
+        block = self._blocks.get(pc)
+        if block is None:
+            block = self._build(pc)
+            if block is not None:
+                self._blocks[pc] = block
+        return block
+
+    def compiled_blocks(self):
+        """How many entry PCs have been compiled so far."""
+        return len(self._blocks)
+
+    def _build(self, pc):
+        fetch_entry = self._decoded.get
+        entry = fetch_entry(pc)
+        if entry is None:
+            return None
+        block = []
+        while True:
+            fall_through = pc + INSTRUCTION_BYTES
+            block.append(entry + (fall_through,))
+            opcode = entry[0]
+            if opcode > _LAST_PLAIN_OPCODE and opcode != _NOP_OPCODE:
+                break
+            pc = fall_through
+            entry = fetch_entry(pc)
+            if entry is None:
+                break
+        return tuple(block)
+
+
+def program_blocks_for(program):
+    """The (memoized) :class:`ProgramBlocks` of ``program``."""
+    blocks = getattr(program, "_program_blocks", None)
+    if blocks is not None:
+        _COUNTERS["program_hits"] += 1
+        return blocks
+    _COUNTERS["program_misses"] += 1
+    blocks = ProgramBlocks(program)
+    program._program_blocks = blocks
+    return blocks

@@ -16,7 +16,9 @@ bench = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(bench)
 
 
-def _report(serial_ips, machine_index=1000.0, jobs4_ips=None, cache_lps=None):
+def _report(
+    serial_ips, machine_index=1000.0, jobs4_ips=None, cache_lps=None, blocks_ips=None
+):
     report = {
         "machine_index": machine_index,
         "serial": {"aggregate_ips": serial_ips},
@@ -25,7 +27,20 @@ def _report(serial_ips, machine_index=1000.0, jobs4_ips=None, cache_lps=None):
         report["jobs4"] = {"ips": jobs4_ips}
     if cache_lps is not None:
         report["cache_hit"] = {"loads_per_second": cache_lps}
+    if blocks_ips is not None:
+        report["blocks"] = {"aggregate_ips": blocks_ips}
     return report
+
+
+def _blocks_report(speedups, aggregate=None):
+    return {
+        "blocks": {
+            "speedup_vs_serial": dict(speedups),
+            "aggregate_speedup_vs_serial": aggregate
+            if aggregate is not None
+            else (sum(speedups.values()) / len(speedups) if speedups else 1.0),
+        }
+    }
 
 
 def _efficiency_report(ratio, mode="pool", cpus=4):
@@ -107,6 +122,45 @@ def test_gate_catches_cache_hit_regression():
     assert bench.check_regression(reference, reference, 0.15) == []
 
 
+# -- the block-engine channel -----------------------------------------------------
+
+
+def test_blocks_gate_passes_at_and_above_floor():
+    report = _blocks_report({"gzip": 1.06, "mcf": 0.98, "vortex": 1.24})
+    assert bench.check_blocks(report, floor=0.85) == []
+    at_floor = _blocks_report({"gzip": 0.85})
+    assert bench.check_blocks(at_floor, floor=0.85) == []
+
+
+def test_blocks_gate_fails_per_workload_below_floor():
+    report = _blocks_report({"gzip": 1.06, "mcf": 0.70, "vortex": 0.60})
+    failures = bench.check_blocks(report, floor=0.85)
+    assert len(failures) == 2
+    assert any("mcf" in failure for failure in failures)
+    assert any("vortex" in failure for failure in failures)
+    assert all(failure.startswith("blocks:") for failure in failures)
+
+
+def test_blocks_gate_skips_reports_without_the_section():
+    assert bench.check_blocks({"serial": {}}) == []
+
+
+def test_gate_catches_blocks_channel_regression():
+    reference = _report(100.0, blocks_ips=110.0)
+    regressed = _report(100.0, blocks_ips=80.0)
+    failures = bench.check_regression(regressed, reference, 0.15)
+    assert len(failures) == 1 and failures[0].startswith("blocks:")
+    assert bench.check_regression(reference, reference, 0.15) == []
+
+
+def test_speedup_includes_blocks_only_when_both_sides_have_it():
+    with_blocks = _report(100.0, blocks_ips=110.0)
+    without_blocks = _report(100.0)
+    assert "blocks" in bench.speedup_vs_baseline(with_blocks, with_blocks)
+    assert "blocks" not in bench.speedup_vs_baseline(with_blocks, without_blocks)
+    assert "blocks" not in bench.speedup_vs_baseline(without_blocks, with_blocks)
+
+
 # -- the parallel-efficiency gate -------------------------------------------------
 
 
@@ -142,12 +196,19 @@ def test_markdown_summary_contains_normalized_rows():
         "policy": "control-equivalent",
         "machine_index": 1000.0,
         "serial": {"aggregate_ips": 500.0},
+        "blocks": {
+            "aggregate_ips": 550.0,
+            "aggregate_speedup_vs_serial": 1.1,
+            "speedup_vs_serial": {"gzip": 1.06, "mcf": 0.98, "vortex": 1.24},
+        },
         "jobs4": {"jobs": 4, "mode": "pool", "cpus": 4, "ips": 900.0},
         "efficiency": {"ratio": 1.8, "mode": "pool", "cpus": 4},
         "cache_hit": {"loads_per_second": 4000.0},
     }
     rendered = bench.render_markdown_summary(report)
-    assert "| serial throughput | 500 ips | 0.500000 |" in rendered
+    assert "| serial throughput (block engine off) | 500 ips | 0.500000 |" in rendered
+    assert "| block-engine throughput (1.10x serial) | 550 ips | 0.550000 |" in rendered
+    assert "| blocks speedup: mcf | 0.98x" in rendered
     assert "pool mode, 4 CPUs" in rendered
     assert "| parallel efficiency (serial wall / jobs4 wall) | 1.80x" in rendered
     assert "| warm cache replay | 4000 loads/s | 4.000000 |" in rendered

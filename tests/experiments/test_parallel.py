@@ -241,6 +241,34 @@ def test_run_summary_render():
     assert summary.slowest(1) == [("gzip", "postdoms", 1.25)]
 
 
+def test_run_summary_reports_block_cache_counters():
+    summary = RunSummary()
+    # Zero movement renders no block-cache line.
+    assert "block cache" not in summary.render()
+    summary.record_block_cache(
+        {"table_hits": 2, "table_misses": 1, "program_hits": 3, "program_misses": 1}
+    )
+    summary.record_block_cache({"table_hits": 1})
+    summary.record_block_cache(None)  # tolerated no-op
+    assert summary.block_cache["table_hits"] == 3
+    assert summary.block_cache["table_misses"] == 1
+    rendered = summary.render()
+    assert "block cache: 3 table hits / 1 compiles" in rendered
+    assert "3 program hits / 1 builds" in rendered
+
+
+def test_prefetch_surfaces_block_cache_in_summary(tmp_path):
+    """A cold prefetch records the block-table compiles it paid and the
+    hits later jobs get from the memoized tables."""
+    runner = ParallelExperimentRunner(
+        scale=0.05, workload_names=("gzip",), jobs=1, cache_dir=str(tmp_path / "c")
+    )
+    runner.prefetch([("gzip", "postdoms"), ("gzip", "hammock")])
+    block_cache = runner.summary.block_cache
+    assert sum(block_cache.values()) > 0
+    assert block_cache["table_hits"] >= 1
+
+
 def test_result_cache_len_counts_entries(tmp_path):
     cache = ResultCache(str(tmp_path / "cache"))
     assert len(cache) == 0

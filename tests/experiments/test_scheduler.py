@@ -122,6 +122,33 @@ def test_plan_chunks_rejects_unknown_schedule():
         scheduler.plan_chunks([("a",)], [1], workers=1, schedule="random")
 
 
+def test_plan_chunks_ignores_vacuous_cap():
+    """A --chunk at or above the grid size must not collapse the grid
+    into one chunk: the cap is vacuous and the cost budget still
+    partitions the cells across workers."""
+    costs = [10] * 8
+    uncapped = scheduler.plan_chunks(_jobs(costs), costs, workers=2)
+    for cap in (len(costs), len(costs) + 1, 1000):
+        capped = scheduler.plan_chunks(
+            _jobs(costs), costs, workers=2, max_chunk_jobs=cap
+        )
+        assert capped == uncapped
+        assert len(capped) > 1
+    # Same under FIFO, where the cap doubles as the fixed chunk size.
+    fifo_capped = scheduler.plan_chunks(
+        _jobs(costs), costs, workers=2, max_chunk_jobs=100, schedule="fifo"
+    )
+    assert fifo_capped == scheduler.plan_chunks(
+        _jobs(costs), costs, workers=2, schedule="fifo"
+    )
+    assert len(fifo_capped) > 1
+
+
+def test_plan_chunks_empty_grid():
+    assert scheduler.plan_chunks([], [], workers=4) == []
+    assert scheduler.plan_chunks([], [], workers=4, schedule="fifo") == []
+
+
 def test_split_inline_thresholds():
     jobs = _jobs([10, 5000, 6000, 20])
     costs = [10, 5000, 6000, 20]
@@ -144,6 +171,29 @@ def test_split_inline_short_circuits_single_worker_and_tiny_grids():
         jobs3, [5000, 10, 20], workers=4, inline_threshold=100
     )
     assert (inline, pooled) == (jobs3, [])
+
+
+def test_plan_grid_empty_grid_yields_clean_empty_plan():
+    """An empty grid plans to nothing: no inline cells, no chunks, zero
+    workers, and telemetry that says so (not a degenerate one-chunk
+    plan)."""
+    plan = scheduler.plan_grid([], [], 8, cpus=4)
+    assert plan.inline == []
+    assert plan.chunks == []
+    assert plan.workers == 0
+    assert plan.pooled_jobs == 0
+    description = plan.describe()
+    assert "0" in description
+
+
+def test_plan_grid_oversized_chunk_cap_does_not_collapse_grid():
+    jobs = _jobs([6000, 6000, 6000, 6000])
+    costs = [6000, 6000, 6000, 6000]
+    plan = scheduler.plan_grid(jobs, costs, 4, max_chunk_jobs=100, cpus=4)
+    uncapped = scheduler.plan_grid(jobs, costs, 4, cpus=4)
+    assert plan.chunks == uncapped.chunks
+    assert len(plan.chunks) > 1
+    assert plan.workers == uncapped.workers > 1
 
 
 def test_plan_grid_caps_workers_at_cpus():

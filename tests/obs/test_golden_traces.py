@@ -61,14 +61,16 @@ def _golden_path(name, spec):
     )
 
 
-def _render_trace(name, spec):
+def _render_trace(name, spec, block_engine=None):
     """The lifecycle JSONL trace of one run, as a string."""
     buffer = io.StringIO()
     bus = EventBus()
     writer = bus.attach(
         JsonlTraceWriter(buffer, kinds=LIFECYCLE_KINDS), verbose=False
     )
-    build_core(name, spec, _SCALE, PAPER_CONFIG, bus=bus).run()
+    build_core(
+        name, spec, _SCALE, PAPER_CONFIG, bus=bus, block_engine=block_engine
+    ).run()
     writer.close()
     return buffer.getvalue()
 
@@ -91,16 +93,40 @@ def test_trace_byte_identical_across_runs(name, spec):
     assert _render_trace(name, spec) == _render_trace(name, spec)
 
 
-def test_gzip_verbose_stream_pinned_across_kernel_rewrites():
-    """The verbose event stream is byte-identical to the pre-predecode
-    simulator's (see :data:`_GZIP_VERBOSE_SHA256`)."""
+@pytest.mark.parametrize("name,spec", _CASES)
+def test_trace_matches_golden_with_block_engine_off(name, spec):
+    """The per-instruction path (block engine off) writes the same
+    golden bytes the default block-at-a-time path does."""
+    path = _golden_path(name, spec)
+    with open(path) as handle:
+        golden = handle.read()
+    assert _render_trace(name, spec, block_engine=False) == golden
+    assert _render_trace(name, spec, block_engine=True) == golden
+
+
+def _gzip_verbose_digest(block_engine=None):
     buffer = io.StringIO()
     bus = EventBus()
     writer = bus.attach(JsonlTraceWriter(buffer), verbose=True)
-    build_core("gzip", "control-equivalent", _SCALE, PAPER_CONFIG, bus=bus).run()
+    build_core(
+        "gzip",
+        "control-equivalent",
+        _SCALE,
+        PAPER_CONFIG,
+        bus=bus,
+        block_engine=block_engine,
+    ).run()
     writer.close()
-    digest = hashlib.sha256(buffer.getvalue().encode("utf-8")).hexdigest()
-    assert digest == _GZIP_VERBOSE_SHA256
+    return hashlib.sha256(buffer.getvalue().encode("utf-8")).hexdigest()
+
+
+def test_gzip_verbose_stream_pinned_across_kernel_rewrites():
+    """The verbose event stream is byte-identical to the pre-predecode
+    simulator's (see :data:`_GZIP_VERBOSE_SHA256`) — under the default
+    engine and explicitly under both block-engine settings."""
+    assert _gzip_verbose_digest() == _GZIP_VERBOSE_SHA256
+    assert _gzip_verbose_digest(block_engine=False) == _GZIP_VERBOSE_SHA256
+    assert _gzip_verbose_digest(block_engine=True) == _GZIP_VERBOSE_SHA256
 
 
 def test_traces_byte_identical_under_parallel_jobs(tmp_path, request):

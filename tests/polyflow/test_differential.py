@@ -128,7 +128,7 @@ class _StagedReferenceCore(PolyFlowCore):
         PolyFlowCore._fetch(self)
 
 
-def _verbose_stream(name, spec, core_cls):
+def _verbose_stream(name, spec, core_cls, block_engine=None):
     """The full verbose event stream of one run, as JSONL text."""
     spec = canonical_spec(spec)
     prepared = prepare_workload(name, _SCALE)
@@ -139,12 +139,20 @@ def _verbose_stream(name, spec, core_cls):
     if spec == REC_PRED_SPEC:
         from repro.reconvergence import build_reconvergence_spawner
 
-        core = core_cls(prepared.trace, config, HintTable(), bus=bus)
+        core = core_cls(
+            prepared.trace, config, HintTable(), bus=bus, block_engine=block_engine
+        )
         core.spawn_unit = build_reconvergence_spawner(prepared, config)
     else:
         profile = spawn_profile(name, _SCALE, config.max_spawn_distance)
         policy = prepared.spawn_analysis.policy(spec)
-        core = core_cls(prepared.trace, config, profile.hint_table(policy), bus=bus)
+        core = core_cls(
+            prepared.trace,
+            config,
+            profile.hint_table(policy),
+            bus=bus,
+            block_engine=block_engine,
+        )
     stats = core.run()
     writer.close()
     return stats, buffer.getvalue()
@@ -162,6 +170,37 @@ def test_fast_and_staged_engines_are_equivalent(name, spec):
     staged_stats, staged_stream = _verbose_stream(name, spec, _StagedReferenceCore)
     assert fast_stream == staged_stream
     assert fast_stats.as_dict() == staged_stats.as_dict()
+
+
+@pytest.mark.parametrize("spec", ("postdoms", "loop+procFT+loopFT", REC_PRED_SPEC))
+@pytest.mark.parametrize("name", ("gzip", "mcf", "crafty"))
+def test_block_engine_equivalent_to_per_instruction(name, spec):
+    """Block-at-a-time and per-instruction fetch paths emit
+    byte-identical verbose streams and stats.
+
+    The block engine batches straight-line superblock runs through the
+    fused loop; every observable — verbose event order included — must
+    be unchanged.  mcf again covers the violation/squash recovery path,
+    where batched positions are squashed and refetched.
+    """
+    off_stats, off_stream = _verbose_stream(
+        name, spec, PolyFlowCore, block_engine=False
+    )
+    on_stats, on_stream = _verbose_stream(name, spec, PolyFlowCore, block_engine=True)
+    assert on_stream == off_stream
+    assert on_stats.as_dict() == off_stats.as_dict()
+
+
+def test_block_engine_nonverbose_stats_equivalent():
+    """Without a verbose bus the fast loop takes its quiet-skip and
+    batched-fetch shortcuts in full; stats must still match the
+    per-instruction path exactly."""
+    prepared = prepare_workload("vortex", _SCALE)
+    profile = spawn_profile("vortex", _SCALE, PAPER_CONFIG.max_spawn_distance)
+    hints = profile.hint_table(prepared.spawn_analysis.policy("postdoms"))
+    on = PolyFlowCore(prepared.trace, PAPER_CONFIG, hints, block_engine=True).run()
+    off = PolyFlowCore(prepared.trace, PAPER_CONFIG, hints, block_engine=False).run()
+    assert on.as_dict() == off.as_dict()
 
 
 def test_staged_subclass_actually_runs_staged_engine():

@@ -160,6 +160,38 @@ def test_disk_layer_round_trips_by_value(source):
         shutil.rmtree(root, ignore_errors=True)
 
 
+def test_disk_layer_carries_compiled_block_tables():
+    """Analyses persisted to disk include the compiled block table: a
+    fresh process loading the entry gets a table hit, not a recompile."""
+    from repro.sim.blocks import block_table_for, cache_counters, counters_delta
+
+    source = """
+        .text
+        main:
+            li   r1, 4
+        loop:
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+    """
+    root = tempfile.mkdtemp(prefix="analysis-cache-blocks-")
+    try:
+        writer = AnalysisCache(disk_root=root)
+        computed = writer.analyses_for(source)
+        assert getattr(computed.trace, "_block_table", None) is not None
+
+        reader = AnalysisCache(disk_root=root)
+        reloaded = reader.analyses_for(source)
+        assert reader.disk_hits == 1
+        before = cache_counters()
+        table = block_table_for(reloaded.trace)
+        delta = counters_delta(before)
+        assert delta["table_hits"] == 1 and delta["table_misses"] == 0
+        assert table.batch_end == block_table_for(computed.trace).batch_end
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def test_corrupt_disk_entry_is_a_miss_and_is_overwritten():
     """Truncated or garbage entries never propagate: the cache
     recomputes and replaces them."""

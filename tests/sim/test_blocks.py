@@ -1,0 +1,230 @@
+"""Tests for the superblock tables (:mod:`repro.sim.blocks`)."""
+
+import pickle
+
+from repro.isa import assemble
+from repro.sim import run_program
+from repro.sim.blocks import (
+    BLOCK_CACHE_KEYS,
+    BLOCK_ENGINE_ENV,
+    BLOCK_FORMAT_VERSION,
+    ICACHE_LINE_BYTES,
+    ProgramBlocks,
+    block_table_for,
+    build_block_table,
+    cache_counters,
+    counters_delta,
+    engine_enabled_default,
+    program_blocks_for,
+    reset_cache_counters,
+)
+from repro.sim.predecode import KIND_PLAIN, LAT_LOAD, LAT_MUL, LAT_STORE
+
+_LOOP = """
+.text
+    li   r1, 5
+    li   r2, 0
+loop:
+    add  r2, r2, r1
+    mul  r3, r2, r1
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+"""
+
+_MEM = """
+.data
+buf: .word 1, 2, 3, 4
+.text
+    la   r1, buf
+    lw   r2, 0(r1)
+    lw   r3, 4(r1)
+    add  r4, r2, r3
+    sw   r4, 8(r1)
+    halt
+"""
+
+
+def _trace(source):
+    return run_program(assemble(source))
+
+
+# -- BlockTable construction ------------------------------------------------------
+
+
+def test_batch_end_covers_straight_line_runs_only():
+    trace = _trace(_LOOP)
+    decoded = trace.decoded()
+    table = build_block_table(decoded)
+    assert table.length == len(trace)
+    for index in range(table.length):
+        end = table.batch_end[index]
+        if decoded.kind[index] != KIND_PLAIN:
+            # Control transfers never batch.
+            assert end == index
+            continue
+        assert end > index
+        line = decoded.pc[index] >> (ICACHE_LINE_BYTES.bit_length() - 1)
+        for position in range(index, end):
+            assert decoded.kind[position] == KIND_PLAIN
+            assert (
+                decoded.pc[position] >> (ICACHE_LINE_BYTES.bit_length() - 1)
+            ) == line
+
+
+def test_batch_end_valid_from_any_start_index():
+    """A task resuming mid-block must still see a correct run bound."""
+    trace = _trace(_LOOP)
+    table = build_block_table(trace.decoded())
+    for index in range(table.length):
+        end = table.batch_end[index]
+        for middle in range(index + 1, end):
+            assert table.batch_end[middle] == end
+
+
+def test_reg_consumers_matches_dependence_arrays():
+    trace = _trace(_LOOP)
+    decoded = trace.decoded()
+    table = build_block_table(decoded)
+    for producer, consumers in enumerate(table.reg_consumers):
+        expected = []
+        for index in range(decoded.length):
+            if decoded.dep0[index] == producer:
+                expected.append(index)
+            if decoded.dep1[index] == producer:
+                expected.append(index)
+        assert list(consumers) == sorted(expected)
+
+
+def test_batch_deps_fuse_sources_and_gate_mem_dep_on_loads():
+    trace = _trace(_MEM)
+    decoded = trace.decoded()
+    table = build_block_table(decoded)
+    assert len(table.batch_deps) == decoded.length
+    for index, (dep0, dep1, mem_dep) in enumerate(table.batch_deps):
+        assert dep0 == decoded.dep0[index]
+        assert dep1 == decoded.dep1[index]
+        if decoded.lat[index] == LAT_LOAD:
+            assert mem_dep == decoded.mem_dep[index]
+        else:
+            assert mem_dep == -1
+    # The store-to-load pair exists in this program, so at least one
+    # load must carry a real mem producer slot (-1 means none).
+    assert any(decoded.lat[i] == LAT_LOAD for i in range(decoded.length))
+
+
+def test_aggregates_partition_the_trace_and_count_latency_classes():
+    trace = _trace(_MEM)
+    decoded = trace.decoded()
+    table = build_block_table(decoded)
+    assert table.starts[0] == 0
+    covered = 0
+    muls = loads = stores = 0
+    for start, (length, block_muls, block_loads, block_stores) in zip(
+        table.starts, table.aggregates
+    ):
+        assert start == covered
+        assert length >= 1
+        covered += length
+        muls += block_muls
+        loads += block_loads
+        stores += block_stores
+    assert covered == decoded.length
+    assert muls == sum(1 for i in range(decoded.length) if decoded.lat[i] == LAT_MUL)
+    assert loads == sum(1 for i in range(decoded.length) if decoded.lat[i] == LAT_LOAD)
+    assert stores == sum(
+        1 for i in range(decoded.length) if decoded.lat[i] == LAT_STORE
+    )
+
+
+def test_issue_cost_and_event_delta():
+    table = build_block_table(_trace(_LOOP).decoded())
+    block = next(
+        i for i, aggregate in enumerate(table.aggregates) if aggregate[1] > 0
+    )
+    length, muls, _, _ = table.aggregates[block]
+    assert table.issue_cost(block, mul_latency=1) == length
+    assert table.issue_cost(block, mul_latency=4) == length + 3 * muls
+    assert table.event_delta(block) == 2 * length
+
+
+def test_describe_summarizes_table():
+    table = build_block_table(_trace(_MEM).decoded())
+    summary = table.describe()
+    assert summary["instructions"] == table.length
+    assert summary["blocks"] == table.block_count() == len(table.starts)
+    assert summary["version"] == BLOCK_FORMAT_VERSION
+    assert summary["max_block_length"] >= summary["mean_block_length"] > 0
+
+
+# -- memoization and counters -----------------------------------------------------
+
+
+def test_block_table_memoized_on_trace_with_counters():
+    trace = _trace(_LOOP)
+    reset_cache_counters()
+    first = block_table_for(trace)
+    second = block_table_for(trace)
+    assert first is second
+    delta = counters_delta({key: 0 for key in BLOCK_CACHE_KEYS})
+    assert delta["table_misses"] == 1
+    assert delta["table_hits"] == 1
+
+
+def test_block_table_version_mismatch_recompiles():
+    trace = _trace(_LOOP)
+    table = block_table_for(trace)
+    table.version = BLOCK_FORMAT_VERSION - 1
+    recompiled = block_table_for(trace)
+    assert recompiled is not table
+    assert recompiled.version == BLOCK_FORMAT_VERSION
+
+
+def test_block_table_survives_trace_pickle():
+    """Compiled tables ride inside analysis pickles: unpickling the
+    trace must hand back the table as a hit, not a recompile."""
+    trace = _trace(_LOOP)
+    block_table_for(trace)
+    clone = pickle.loads(pickle.dumps(trace))
+    before = cache_counters()
+    table = block_table_for(clone)
+    delta = counters_delta(before)
+    assert delta["table_hits"] == 1 and delta["table_misses"] == 0
+    assert table.batch_end == block_table_for(trace).batch_end
+
+
+def test_program_blocks_memoized_with_counters():
+    program = assemble(_LOOP)
+    reset_cache_counters()
+    first = program_blocks_for(program)
+    second = program_blocks_for(program)
+    assert first is second
+    delta = counters_delta({key: 0 for key in BLOCK_CACHE_KEYS})
+    assert delta["program_misses"] == 1
+    assert delta["program_hits"] == 1
+
+
+def test_program_blocks_follow_fall_through_until_control():
+    program = assemble(_LOOP)
+    blocks = ProgramBlocks(program)
+    entry = program.entry_point
+    block = blocks.block_at(entry)
+    assert block is not None
+    assert len(block) >= 2
+    # Each record's fall-through PC is the next record's instruction PC
+    # (records are ``(opcode, …, inst, fall_through)``).
+    for record, following in zip(block, block[1:]):
+        assert record[-1] == following[-2].pc
+    assert blocks.block_at(0xDEAD0000) is None
+    assert blocks.compiled_blocks() >= 1
+    # Memoized per entry PC.
+    assert blocks.block_at(entry) is block
+
+
+def test_engine_default_respects_environment(monkeypatch):
+    monkeypatch.delenv(BLOCK_ENGINE_ENV, raising=False)
+    assert engine_enabled_default() is True
+    monkeypatch.setenv(BLOCK_ENGINE_ENV, "0")
+    assert engine_enabled_default() is False
+    monkeypatch.setenv(BLOCK_ENGINE_ENV, "1")
+    assert engine_enabled_default() is True
