@@ -53,7 +53,16 @@ def clear_profile_cache():
     clear_cache()
 
 
-def build_core(name, spec, scale, config, profile_distance=None, bus=None, block_engine=None):
+def build_core(
+    name,
+    spec,
+    scale,
+    config,
+    profile_distance=None,
+    bus=None,
+    block_engine=None,
+    event_kernel=None,
+):
     """Construct the :class:`PolyFlowCore` for one (workload, policy) job.
 
     This is the single place the experiment harness turns a picklable
@@ -79,6 +88,8 @@ def build_core(name, spec, scale, config, profile_distance=None, bus=None, block
             metrics sinks.
         block_engine: Block-at-a-time engine override (None keeps the
             :mod:`repro.sim.blocks` process default).
+        event_kernel: Event-calendar kernel override (None keeps the
+            :mod:`repro.polyflow.event_kernel` process default).
     """
     spec = canonical_spec(spec)
     prepared = prepare_workload(name, scale)
@@ -89,12 +100,18 @@ def build_core(name, spec, scale, config, profile_distance=None, bus=None, block
             HintTable(),
             bus=bus,
             block_engine=block_engine,
+            event_kernel=event_kernel,
         )
     if spec == REC_PRED_SPEC:
         from repro.reconvergence import build_reconvergence_spawner
 
         core = PolyFlowCore(
-            prepared.trace, config, HintTable(), bus=bus, block_engine=block_engine
+            prepared.trace,
+            config,
+            HintTable(),
+            bus=bus,
+            block_engine=block_engine,
+            event_kernel=event_kernel,
         )
         core.spawn_unit = build_reconvergence_spawner(prepared, config)
         return core
@@ -108,6 +125,7 @@ def build_core(name, spec, scale, config, profile_distance=None, bus=None, block
         profile.hint_table(policy),
         bus=bus,
         block_engine=block_engine,
+        event_kernel=event_kernel,
     )
 
 

@@ -8,6 +8,16 @@ per-instruction events) or non-verbose (lifecycle events only, the mode
 The core checks ``bus.verbose`` once per pipeline stage and skips
 constructing per-instruction events entirely when no verbose sink is
 attached, so event dispatch is effectively free on untraced runs.
+
+``bus.verbose`` also selects the timing engine: verbose emission
+timestamps every per-instruction event with the cycle it happened in,
+so a verbose bus pins the core to a cycle-exact engine (every cycle
+visited), while a non-verbose bus permits the event-calendar kernel
+(:mod:`repro.polyflow.event_kernel`) to jump the clock over frozen
+cycles.  Lifecycle events carry cycle timestamps too, and the engine
+equivalence suites pin them byte-identical across engines — the flag
+only decides *which* cycle-exact-equivalent engine runs, never what
+any sink observes.
 """
 
 #: Version of the event schema (bump on any field or kind change, and
@@ -23,7 +33,9 @@ class EventBus:
     def __init__(self):
         self._sinks = []
         #: True when at least one verbose sink is attached.  The core
-        #: reads this to guard high-frequency event construction.
+        #: reads this to guard high-frequency event construction and to
+        #: auto-select a cycle-exact engine (the time-skip kernel never
+        #: runs under a verbose bus; see the module docstring).
         self.verbose = False
 
     def attach(self, sink, verbose=True):

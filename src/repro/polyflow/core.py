@@ -60,6 +60,7 @@ from repro.polyflow.dependences import StoreSetPredictor
 from repro.polyflow.spawn_unit import SpawnUnit
 from repro.polyflow.stats import SimStats
 from repro.polyflow.task import Task
+from repro.polyflow.event_kernel import kernel_enabled_default, run_event_kernel
 from repro.sim.blocks import block_table_for, engine_enabled_default
 from repro.sim.predecode import (
     KIND_CALL_DIRECT,
@@ -124,6 +125,7 @@ class PolyFlowCore:
         max_cycles=None,
         bus=None,
         block_engine=None,
+        event_kernel=None,
     ):
         self.trace = trace
         self.config = config
@@ -132,6 +134,13 @@ class PolyFlowCore:
         # per-instruction path, so it must not move config_fingerprint.
         self.block_engine = (
             engine_enabled_default() if block_engine is None else bool(block_engine)
+        )
+        # Event-calendar kernel toggle (see repro.polyflow.event_kernel;
+        # same contract as block_engine: observably identical, so never
+        # part of config_fingerprint).  run() additionally requires the
+        # block tables and a non-verbose bus before selecting it.
+        self.event_kernel = (
+            kernel_enabled_default() if event_kernel is None else bool(event_kernel)
         )
         self.hint_table = hint_table if hint_table is not None else HintTable()
         self.stats = SimStats()
@@ -191,6 +200,7 @@ class PolyFlowCore:
         # depends on its resolved targets.
         self._reg_consumers = None
         self._batch_deps = None
+        self._plain_end = None
         self._run_end = None
         self._compiled_for = None
         if self.block_engine and not config.nested_spawns:
@@ -201,15 +211,21 @@ class PolyFlowCore:
     def run(self):
         """Simulate the whole trace; returns the :class:`SimStats`.
 
-        Two observably identical engines back this method: the fused
-        fast loop (:meth:`_run_fast`, all five pipeline stages inlined
-        over the flat decoded arrays) and the staged reference loop
-        (:meth:`_run_staged`, one method per stage).  Instances whose
-        class overrides a stage hook — or whose spawn unit overrides
+        Three observably identical engines back this method: the staged
+        reference loop (:meth:`_run_staged`, one method per stage), the
+        fused fast loop (:meth:`_run_fast`, all five pipeline stages
+        inlined over the flat decoded arrays), and the event-calendar
+        kernel (:func:`~repro.polyflow.event_kernel.run_event_kernel`,
+        which additionally jumps the clock over provably frozen
+        cycles).  Instances whose class overrides a stage hook — or
+        whose spawn unit overrides
         :meth:`~repro.polyflow.spawn_unit.SpawnUnit.spawn_target` —
-        run staged; everything else takes the fast path.  The
-        engine-equivalence tests pin that both produce identical event
-        streams and statistics.
+        run staged; the event kernel is selected only with the block
+        tables compiled, ``nested_spawns`` off and no verbose sink
+        attached (verbose emission needs every cycle visited);
+        everything else takes the fast path.  The engine-equivalence
+        tests pin that all three produce identical event streams and
+        statistics.
         """
         if not len(self.trace):
             return self.stats
@@ -227,7 +243,19 @@ class PolyFlowCore:
                 and self._compiled_for is not self.spawn_unit
             ):
                 self._compile_blocks()
-            self._run_fast()
+            if (
+                self.event_kernel
+                and self._run_end is not None
+                and not self.config.nested_spawns
+                and not self.bus.verbose
+            ):
+                # Next-event calendar: exact for non-verbose runs on
+                # the compiled block tables.  Verbose buses (and the
+                # stage-hook/nested cases above) keep a cycle-exact
+                # engine — the same auto-fallback as the staged split.
+                run_event_kernel(self)
+            else:
+                self._run_fast()
         count = len(self.trace)
         while self._tasks:
             # The tail task (and only it) is never popped by retire;
@@ -251,6 +279,7 @@ class PolyFlowCore:
         table = block_table_for(self.trace)
         self._reg_consumers = table.reg_consumers
         self._batch_deps = table.batch_deps
+        self._plain_end = table.plain_end
         batch_end = table.batch_end
         spawn_unit = self.spawn_unit
         candidates = spawn_unit.spawn_candidate_indices()
@@ -2048,10 +2077,17 @@ def simulate(
     max_cycles=None,
     bus=None,
     block_engine=None,
+    event_kernel=None,
 ):
     """Run the PolyFlow model over ``trace`` and return its stats."""
     return PolyFlowCore(
-        trace, config, hint_table, max_cycles, bus, block_engine=block_engine
+        trace,
+        config,
+        hint_table,
+        max_cycles,
+        bus,
+        block_engine=block_engine,
+        event_kernel=event_kernel,
     ).run()
 
 

@@ -41,7 +41,7 @@ event streams and stats either way).
 import os
 
 from repro.isa.instructions import INSTRUCTION_BYTES, Opcode
-from repro.sim.predecode import LAT_LOAD, LAT_MUL, LAT_STORE
+from repro.sim.predecode import LAT_ALU, LAT_LOAD, LAT_MUL, LAT_STORE
 
 #: L1 I-cache line size of the default
 #: :class:`~repro.memory.hierarchy.CacheHierarchy` (128-byte lines).
@@ -53,7 +53,8 @@ _LINE_SHIFT = ICACHE_LINE_BYTES.bit_length() - 1
 
 #: Bump when the compiled table layout changes: persisted tables ride
 #: inside analysis pickles, and a stale layout must read as a miss.
-BLOCK_FORMAT_VERSION = 1
+#: v2 added ``plain_end`` (the event kernel's next-event horizon).
+BLOCK_FORMAT_VERSION = 2
 
 #: Environment toggle: set to ``"0"`` to disable the block engine.
 BLOCK_ENGINE_ENV = "REPRO_BLOCK_ENGINE"
@@ -115,6 +116,15 @@ class BlockTable:
     fetch loop performs a single indexed load per instruction instead
     of probing three parallel arrays plus the latency class.
 
+    ``plain_end[i]`` is the end (exclusive) of the maximal run starting
+    at ``i`` of single-cycle ALU instructions — no loads, stores or
+    multiplies, so every position completes one cycle after issue and
+    the run's next-event horizon is a constant.  The event kernel
+    (:mod:`repro.polyflow.event_kernel`) issues such a run as one batch
+    with a single range completion on its calendar; any memory or
+    long-latency operation caps the run so the cache-access order stays
+    cycle-exact.
+
     ``starts``/``aggregates`` summarize each superblock:
     ``aggregates[b]`` is ``(length, muls, loads, stores)`` for the
     block at ``starts[b]``.
@@ -125,16 +135,27 @@ class BlockTable:
         "batch_end",
         "reg_consumers",
         "batch_deps",
+        "plain_end",
         "starts",
         "aggregates",
         "version",
     )
 
-    def __init__(self, length, batch_end, reg_consumers, batch_deps, starts, aggregates):
+    def __init__(
+        self,
+        length,
+        batch_end,
+        reg_consumers,
+        batch_deps,
+        plain_end,
+        starts,
+        aggregates,
+    ):
         self.length = length
         self.batch_end = batch_end
         self.reg_consumers = reg_consumers
         self.batch_deps = batch_deps
+        self.plain_end = plain_end
         self.starts = starts
         self.aggregates = aggregates
         self.version = BLOCK_FORMAT_VERSION
@@ -154,6 +175,23 @@ class BlockTable:
         completion per instruction)."""
         return 2 * self.aggregates[block][0]
 
+    def next_event_horizon(self, block, mul_latency=1):
+        """Earliest completion latency of one block issued in a cycle.
+
+        The static lower bound on when the *first* functional-unit
+        completion of the block lands on the event calendar: one cycle
+        unless the block is multiplies only (loads and stores bound at
+        their one-cycle L1-hit occupancy; the dynamic miss latency can
+        only push completions later, never earlier).  This is the
+        per-block composition contract between block-at-a-time fetch
+        and the event kernel's time skip: a jump may never land inside
+        a block's horizon.
+        """
+        length, muls, _loads, _stores = self.aggregates[block]
+        if muls == length:
+            return mul_latency
+        return 1
+
     def describe(self):
         """Summary dict (diagnostics, docs, and the property tests)."""
         lengths = [aggregate[0] for aggregate in self.aggregates]
@@ -164,6 +202,10 @@ class BlockTable:
             "mean_block_length": (sum(lengths) / len(lengths)) if lengths else 0.0,
             "max_block_length": max(lengths, default=0),
             "mem_ops": mem_ops,
+            "plain_instructions": sum(
+                aggregate[0] - aggregate[1] - aggregate[2] - aggregate[3]
+                for aggregate in self.aggregates
+            ),
             "version": self.version,
         }
 
@@ -222,6 +264,25 @@ def build_block_table(decoded):
         for index in range(count)
     ]
 
+    # Maximal single-cycle-ALU runs, bounded by the superblock run so a
+    # plain run never crosses a control transfer or I-cache line (the
+    # event kernel probes plain_end only at batch starts, but the
+    # backward pass keeps it valid from any index).
+    plain_end = [0] * count
+    for index in range(count - 1, -1, -1):
+        if lats[index] != LAT_ALU or kinds[index]:
+            plain_end[index] = index
+            continue
+        following = index + 1
+        if (
+            following < count
+            and batch_end[index] > following
+            and lats[following] == LAT_ALU
+        ):
+            plain_end[index] = plain_end[following]
+        else:
+            plain_end[index] = following
+
     starts = []
     aggregates = []
     index = 0
@@ -244,7 +305,9 @@ def build_block_table(decoded):
         aggregates.append((end - index, muls, loads, stores))
         index = end
 
-    return BlockTable(count, batch_end, reg_consumers, batch_deps, starts, aggregates)
+    return BlockTable(
+        count, batch_end, reg_consumers, batch_deps, plain_end, starts, aggregates
+    )
 
 
 def block_table_for(trace):

@@ -6,10 +6,19 @@ instruction budget) and produces the committed-path
 paper's simulator compares out-of-order results against an architectural
 simulator at retirement; here the architectural simulator is the single
 source of truth and the timing models replay its trace.
+
+That single trace anchors the whole engine stack: the two functional
+engines here (per-instruction and block-at-a-time) must emit identical
+records, and downstream the timing side's staged, fused, and
+event-calendar engines (:mod:`repro.polyflow.event_kernel`) must replay
+those records into identical event streams.  The differential suites
+pin every pairing, so any engine may be swapped per run without
+observable effect.
 """
 
 from repro.errors import ExecutionError
 from repro.isa.instructions import INSTRUCTION_BYTES, NUM_REGISTERS, Opcode
+from repro.sim.blocks import engine_enabled_default, program_blocks_for
 from repro.sim.predecode import decode_program
 from repro.sim.trace import Trace, TraceRecord
 
@@ -135,8 +144,6 @@ class FunctionalSimulator:
         """
         block_engine = self.block_engine
         if block_engine is None:
-            from repro.sim.blocks import engine_enabled_default
-
             block_engine = engine_enabled_default()
         if block_engine:
             return self._run_blocks()
@@ -306,8 +313,6 @@ class FunctionalSimulator:
         per-instruction fetch lookup.  Committed semantics — trace
         records, producer edges, halt/budget behaviour, and error
         messages — match :meth:`_run_instructions` exactly."""
-        from repro.sim.blocks import program_blocks_for
-
         program = self.program
         state = MachineState(program)
         registers = state.registers

@@ -1,4 +1,50 @@
-"""Shared pytest configuration for the repro test suite."""
+"""Shared pytest configuration for the repro test suite.
+
+Registers the Hypothesis profiles:
+
+* ``dev`` (default) — the per-test tuned example budgets, random seeds;
+  what tier-1 CI and local runs use.
+* ``ci-long`` — the nightly sweep: every test's example budget is
+  multiplied 10x (see :func:`tests.helpers.examples`), the run is
+  derandomized (fixed seed derived from each test, so nightly failures
+  reproduce exactly), and failing examples print their reproduction
+  blob.  Select with ``HYPOTHESIS_PROFILE=ci-long``.
+"""
+
+from hypothesis import settings
+
+from tests.helpers import HYPOTHESIS_PROFILE
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "ci-long",
+    deadline=None,
+    derandomize=True,
+    print_blob=True,
+)
+settings.load_profile(HYPOTHESIS_PROFILE)
+
+
+def _profile_banner():
+    profile = settings()
+    return (
+        "hypothesis: profile={} derandomize={} (ci-long pins the seed "
+        "per-test and scales example budgets 10x)".format(
+            HYPOTHESIS_PROFILE, profile.derandomize
+        )
+    )
+
+
+def pytest_report_header(config):
+    return _profile_banner()
+
+
+def pytest_configure(config):
+    # The repo's addopts default to -q, which suppresses the report
+    # header; a non-default profile must still be visible in CI logs,
+    # so print the banner unconditionally there.
+    if HYPOTHESIS_PROFILE != "dev":
+        print(_profile_banner())
 
 
 def pytest_addoption(parser):

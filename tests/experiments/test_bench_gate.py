@@ -161,6 +161,63 @@ def test_speedup_includes_blocks_only_when_both_sides_have_it():
     assert "blocks" not in bench.speedup_vs_baseline(without_blocks, with_blocks)
 
 
+# -- the event-kernel channel -----------------------------------------------------
+
+
+def _event_kernel_report(speedups):
+    return {
+        "event_kernel": {
+            "speedup_vs_serial": dict(speedups),
+            "aggregate_speedup_vs_serial": (
+                sum(speedups.values()) / len(speedups) if speedups else 1.0
+            ),
+        }
+    }
+
+
+def test_event_kernel_gate_passes_at_and_above_floor():
+    report = _event_kernel_report({"gzip": 1.15, "mcf": 1.00, "vortex": 1.22})
+    assert bench.check_event_kernel(report, floor=0.85) == []
+    at_floor = _event_kernel_report({"mcf": 0.85})
+    assert bench.check_event_kernel(at_floor, floor=0.85) == []
+
+
+def test_event_kernel_gate_fails_per_workload_below_floor():
+    report = _event_kernel_report({"gzip": 1.15, "mcf": 0.60})
+    failures = bench.check_event_kernel(report, floor=0.85)
+    assert len(failures) == 1
+    assert "mcf" in failures[0]
+    assert failures[0].startswith("event_kernel:")
+
+
+def test_event_kernel_gate_skips_reports_without_the_section():
+    assert bench.check_event_kernel({"serial": {}}) == []
+
+
+# -- the schema gate --------------------------------------------------------------
+
+
+def test_schema_gate_names_the_missing_channel():
+    report = {
+        "schema": 4,
+        "serial": {},
+        "blocks": {},
+        "event_kernel": {},
+    }
+    stale = {"schema": 3, "serial": {}, "blocks": {}}
+    failures = bench.check_schema(report, stale, "BENCH_polyflow.json")
+    assert len(failures) == 1
+    assert "event_kernel" in failures[0]
+    assert "schema 3" in failures[0]
+    assert "regenerate" in failures[0]
+    assert "BENCH_polyflow.json" in failures[0]
+
+
+def test_schema_gate_passes_when_reference_has_every_channel():
+    report = {"schema": 4, "serial": {}, "blocks": {}, "event_kernel": {}}
+    assert bench.check_schema(report, dict(report), "BENCH_polyflow.json") == []
+
+
 # -- the parallel-efficiency gate -------------------------------------------------
 
 
@@ -201,6 +258,11 @@ def test_markdown_summary_contains_normalized_rows():
             "aggregate_speedup_vs_serial": 1.1,
             "speedup_vs_serial": {"gzip": 1.06, "mcf": 0.98, "vortex": 1.24},
         },
+        "event_kernel": {
+            "aggregate_ips": 600.0,
+            "aggregate_speedup_vs_serial": 1.2,
+            "speedup_vs_serial": {"gzip": 1.15, "mcf": 1.00, "vortex": 1.22},
+        },
         "jobs4": {"jobs": 4, "mode": "pool", "cpus": 4, "ips": 900.0},
         "efficiency": {"ratio": 1.8, "mode": "pool", "cpus": 4},
         "cache_hit": {"loads_per_second": 4000.0},
@@ -208,7 +270,9 @@ def test_markdown_summary_contains_normalized_rows():
     rendered = bench.render_markdown_summary(report)
     assert "| serial throughput (block engine off) | 500 ips | 0.500000 |" in rendered
     assert "| block-engine throughput (1.10x serial) | 550 ips | 0.550000 |" in rendered
-    assert "| blocks speedup: mcf | 0.98x" in rendered
+    assert "| block-engine speedup: mcf | 0.98x" in rendered
+    assert "| event-kernel throughput (1.20x serial) | 600 ips | 0.600000 |" in rendered
+    assert "| event-kernel speedup: gzip | 1.15x" in rendered
     assert "pool mode, 4 CPUs" in rendered
     assert "| parallel efficiency (serial wall / jobs4 wall) | 1.80x" in rendered
     assert "| warm cache replay | 4000 loads/s | 4.000000 |" in rendered

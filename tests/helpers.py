@@ -1,7 +1,31 @@
 """Shared test helpers."""
 
+import os
+
 from repro.cfg import BasicBlock, ControlFlowGraph
 from repro.isa.instructions import Instruction, Opcode
+
+#: Hypothesis profile selected for this run (registered in
+#: tests/conftest.py; the nightly workflow exports
+#: ``HYPOTHESIS_PROFILE=ci-long``).
+HYPOTHESIS_PROFILE = os.environ.get("HYPOTHESIS_PROFILE", "dev")
+
+_CI_LONG_MULTIPLIER = 10
+
+
+def examples(budget):
+    """Per-test Hypothesis example budget under the active profile.
+
+    Each property test carries a budget tuned so the full tier-1 suite
+    stays fast; the nightly ``ci-long`` profile multiplies every budget
+    by ``_CI_LONG_MULTIPLIER`` for a deeper (and derandomized) sweep.
+    A multiplier on the tuned per-test budgets — rather than a single
+    profile-wide ``max_examples`` — preserves the relative weighting
+    between cheap and expensive properties.
+    """
+    if HYPOTHESIS_PROFILE == "ci-long":
+        return budget * _CI_LONG_MULTIPLIER
+    return budget
 
 
 def make_cfg(edge_list, block_count, exit_blocks, entry_index=0, name="test"):

@@ -1,0 +1,223 @@
+"""Edge cases of the event-calendar time-skip kernel.
+
+The differential and golden suites pin the kernel against whole
+workloads; these tests aim the calendar's corners directly — stall
+windows with every task asleep, multiple events due on the same cycle,
+minimum-latency completions, squashes landing inside a skip window —
+and the engine-selection contract (when the kernel runs at all, and
+when the cycle-exact fallback engages).
+
+Each equivalence check compares the kernel against the cycle-exact
+fused engine on the same job: identical :class:`SimStats` and an
+identical non-verbose lifecycle event stream, byte for byte.
+"""
+
+import io
+
+import pytest
+
+import repro.polyflow.core as core_module
+
+from repro.cfg import build_program_cfgs
+from repro.errors import SimulationError
+from repro.isa import assemble
+from repro.obs import LIFECYCLE_KINDS, EventBus, JsonlTraceWriter
+from repro.polyflow import MachineConfig, PolyFlowCore
+from repro.polyflow.event_kernel import EVENT_KERNEL_ENV, kernel_enabled_default
+from repro.sim import run_program
+from repro.spawn import SpawnAnalysis, profile_spawn_points
+
+from tests.properties.test_event_stream_properties import _hammock_store_program
+
+
+def _prepare(source, spec="postdoms", **config_kwargs):
+    program = assemble(source)
+    trace = run_program(program)
+    analysis = SpawnAnalysis(build_program_cfgs(program))
+    policy = analysis.policy(spec)
+    profile = profile_spawn_points(trace, policy.points)
+    hints = profile.hint_table(policy, min_loop_task_size=4)
+    config = MachineConfig(min_spawn_distance=2, **config_kwargs)
+    return trace, config, hints
+
+
+def _lifecycle_run(trace, config, hints, event_kernel):
+    buffer = io.StringIO()
+    bus = EventBus()
+    writer = bus.attach(
+        JsonlTraceWriter(buffer, kinds=LIFECYCLE_KINDS), verbose=False
+    )
+    stats = PolyFlowCore(
+        trace,
+        config,
+        hints,
+        bus=bus,
+        block_engine=True,
+        event_kernel=event_kernel,
+    ).run()
+    writer.close()
+    return stats, buffer.getvalue()
+
+
+def _assert_kernel_equivalent(trace, config, hints):
+    """Kernel on == kernel off, and return the (off) stats for extra
+    shape assertions by the caller."""
+    off_stats, off_stream = _lifecycle_run(trace, config, hints, event_kernel=False)
+    on_stats, on_stream = _lifecycle_run(trace, config, hints, event_kernel=True)
+    assert on_stream == off_stream
+    assert on_stats.as_dict() == off_stats.as_dict()
+    return off_stats
+
+
+# -- calendar edge cases ----------------------------------------------------------
+
+
+_DEPENDENT_LOADS = """
+.data
+buf: .word 11, 22, 33, 44, 55, 66, 77, 88
+.text
+    la   r1, buf
+    lw   r2, 0(r1)
+    add  r3, r2, r2
+    lw   r4, 8(r1)
+    add  r5, r4, r3
+    lw   r6, 16(r1)
+    add  r7, r6, r5
+    lw   r8, 24(r1)
+    add  r9, r8, r7
+    halt
+"""
+
+
+def test_all_tasks_stalled_skip_on_cold_cache_misses():
+    """A serial chain of cold-cache loads freezes the whole machine for
+    the full miss latency; the calendar must jump those windows without
+    perturbing a single timestamp."""
+    trace, config, hints = _prepare(_DEPENDENT_LOADS, warm_caches=False)
+    stats = _assert_kernel_equivalent(trace, config, hints)
+    # The miss windows really existed: far more cycles than a warm run
+    # of the same ten instructions could take.
+    assert stats.cycles > 4 * stats.retired_instructions
+
+
+_TWIN_MULS = """
+.text
+    li   r1, 6
+    li   r2, 7
+    mul  r3, r1, r2
+    mul  r4, r2, r1
+    add  r5, r3, r4
+    add  r6, r4, r3
+    halt
+"""
+
+
+def test_two_events_due_the_same_cycle():
+    """Two multiplies issued in the same cycle complete in the same
+    cycle — two calendar entries at one timestamp — and both consumers
+    wake together; ties must drain in program order."""
+    trace, config, hints = _prepare(_TWIN_MULS)
+    _assert_kernel_equivalent(trace, config, hints)
+
+
+def test_min_latency_completions_wake_next_cycle():
+    """With ``mul_latency`` floored at one cycle every completion lands
+    on the very next calendar slot, so the kernel can never skip; it
+    must degrade to cycle-exact stepping, not break."""
+    trace, config, hints = _prepare(_TWIN_MULS, mul_latency=1)
+    _assert_kernel_equivalent(trace, config, hints)
+
+
+def test_zero_latency_config_fails_identically():
+    """``mul_latency=0`` (completion due the cycle of issue) deadlocks
+    the machine model — the cycle-exact engine raises its no-progress
+    guard.  The kernel's degenerate calendar entry must surface the
+    same failure rather than hanging or silently diverging."""
+    trace, config, hints = _prepare(_TWIN_MULS, mul_latency=0)
+    with pytest.raises(SimulationError):
+        _lifecycle_run(trace, config, hints, event_kernel=False)
+    with pytest.raises(SimulationError):
+        _lifecycle_run(trace, config, hints, event_kernel=True)
+
+
+def test_squash_lands_mid_skip():
+    """A memory-order violation squashes speculative tasks while cold
+    caches keep long skip windows open: recovery re-fetch timing must
+    survive the clock jumps."""
+    program = _hammock_store_program(24, 6, 10, [1, 0, 1, 0, 0, 1, 1, 0])
+    trace = run_program(program)
+    analysis = SpawnAnalysis(build_program_cfgs(program))
+    policy = analysis.policy("hammock")
+    profile = profile_spawn_points(trace, policy.points)
+    hints = profile.hint_table(policy, min_loop_task_size=4)
+    config = MachineConfig(min_spawn_distance=2, warm_caches=False)
+    stats = _assert_kernel_equivalent(trace, config, hints)
+    assert stats.violation_squashes > 0
+
+
+# -- engine selection and fallback ------------------------------------------------
+
+
+def _spy_on_kernel(monkeypatch):
+    calls = []
+    real = core_module.run_event_kernel
+
+    def spying(core):
+        calls.append(core)
+        return real(core)
+
+    monkeypatch.setattr(core_module, "run_event_kernel", spying)
+    return calls
+
+
+def _run_core(trace, config, hints, *, verbose=False, **core_kwargs):
+    bus = EventBus()
+    if verbose:
+        bus.attach(JsonlTraceWriter(io.StringIO()), verbose=True)
+    return PolyFlowCore(trace, config, hints, bus=bus, **core_kwargs).run()
+
+
+def test_kernel_selected_for_nonverbose_block_engine_runs(monkeypatch):
+    calls = _spy_on_kernel(monkeypatch)
+    trace, config, hints = _prepare(_DEPENDENT_LOADS)
+    _run_core(trace, config, hints, block_engine=True, event_kernel=True)
+    assert len(calls) == 1
+
+
+def test_verbose_bus_falls_back_to_cycle_exact(monkeypatch):
+    """Verbose emission needs every cycle visited, so attaching a
+    verbose sink auto-selects the cycle-exact engine."""
+    calls = _spy_on_kernel(monkeypatch)
+    trace, config, hints = _prepare(_DEPENDENT_LOADS)
+    _run_core(
+        trace, config, hints, verbose=True, block_engine=True, event_kernel=True
+    )
+    assert calls == []
+
+
+def test_kernel_disabled_by_flag(monkeypatch):
+    calls = _spy_on_kernel(monkeypatch)
+    trace, config, hints = _prepare(_DEPENDENT_LOADS)
+    _run_core(trace, config, hints, block_engine=True, event_kernel=False)
+    assert calls == []
+
+
+def test_kernel_requires_block_tables(monkeypatch):
+    """Without the block engine there are no compiled run tables for
+    the calendar to batch over; the kernel must not be selected."""
+    calls = _spy_on_kernel(monkeypatch)
+    trace, config, hints = _prepare(_DEPENDENT_LOADS)
+    _run_core(trace, config, hints, block_engine=False, event_kernel=True)
+    assert calls == []
+
+
+def test_kernel_default_respects_environment(monkeypatch):
+    monkeypatch.delenv(EVENT_KERNEL_ENV, raising=False)
+    assert kernel_enabled_default() is True
+    monkeypatch.setenv(EVENT_KERNEL_ENV, "0")
+    assert kernel_enabled_default() is False
+    trace, config, hints = _prepare(_TWIN_MULS)
+    core = PolyFlowCore(trace, config, hints, block_engine=True)
+    assert core.event_kernel is False
+    monkeypatch.setenv(EVENT_KERNEL_ENV, "1")
+    assert kernel_enabled_default() is True

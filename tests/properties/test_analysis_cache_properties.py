@@ -14,13 +14,15 @@ import tempfile
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from tests.helpers import examples
+
 from repro.analysis.pipeline import (
     AnalysisCache,
     compute_analyses,
     source_digest,
 )
 
-_SETTINGS = dict(max_examples=15, deadline=None)
+_SETTINGS = dict(max_examples=examples(15), deadline=None)
 
 
 @st.composite

@@ -11,6 +11,8 @@ policy.
 
 from hypothesis import given, settings
 
+from tests.helpers import examples
+
 from repro.cfg import build_program_cfgs
 from repro.obs import EventBus, JsonlTraceWriter
 from repro.polyflow import MachineConfig, PolyFlowCore
@@ -49,13 +51,13 @@ def _assert_engines_equivalent(program, spec):
 
 
 @given(random_hammock_programs())
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=examples(20), deadline=None)
 def test_block_engine_equivalent_on_random_hammocks(program):
     _assert_engines_equivalent(program, "postdoms")
 
 
 @given(violating_programs())
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=examples(15), deadline=None)
 def test_block_engine_equivalent_under_violations(program):
     """The squash/refetch recovery path: batched positions are squashed
     mid-run and refetched, and the streams must still match byte for
@@ -64,7 +66,7 @@ def test_block_engine_equivalent_under_violations(program):
 
 
 @given(random_hammock_programs())
-@settings(max_examples=10, deadline=None)
+@settings(max_examples=examples(10), deadline=None)
 def test_block_engine_stats_equivalent_without_bus(program):
     """Non-verbose runs take the quiet-skip and batched-fetch shortcuts
     in full; stats must still be identical."""

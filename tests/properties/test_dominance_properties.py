@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from tests.helpers import make_cfg
+from tests.helpers import examples, make_cfg
 
 from repro.analysis import (
     compute_control_dependence,
@@ -38,7 +38,7 @@ def random_cfgs(draw):
 
 
 @given(random_cfgs())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=examples(60), deadline=None)
 def test_entry_dominates_every_reachable_node(cfg):
     tree = compute_dominator_tree(cfg)
     for node in tree.nodes():
@@ -46,7 +46,7 @@ def test_entry_dominates_every_reachable_node(cfg):
 
 
 @given(random_cfgs())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=examples(60), deadline=None)
 def test_exit_postdominates_every_node_reaching_it(cfg):
     tree = compute_postdominator_tree(cfg)
     for node in tree.nodes():
@@ -54,7 +54,7 @@ def test_exit_postdominates_every_node_reaching_it(cfg):
 
 
 @given(random_cfgs())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=examples(60), deadline=None)
 def test_idom_is_a_strict_dominator(cfg):
     tree = compute_dominator_tree(cfg)
     for node in tree.nodes():
@@ -64,7 +64,7 @@ def test_idom_is_a_strict_dominator(cfg):
 
 
 @given(random_cfgs())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=examples(60), deadline=None)
 def test_ipdom_postdominates_all_successors(cfg):
     """The ipdom of a node postdominates every successor of the node."""
     tree = compute_postdominator_tree(cfg)
@@ -80,7 +80,7 @@ def test_ipdom_postdominates_all_successors(cfg):
 
 
 @given(random_cfgs())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=examples(60), deadline=None)
 def test_dominance_is_antisymmetric(cfg):
     tree = compute_dominator_tree(cfg)
     nodes = list(tree.nodes())
@@ -91,7 +91,7 @@ def test_dominance_is_antisymmetric(cfg):
 
 
 @given(random_cfgs())
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=examples(40), deadline=None)
 def test_control_dependence_consistent_with_postdominance(cfg):
     """X is control dependent on A only if X does not postdominate A
     (the FOW definition's necessary condition)."""
@@ -106,7 +106,7 @@ def test_control_dependence_consistent_with_postdominance(cfg):
 
 
 @given(random_cfgs())
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=examples(40), deadline=None)
 def test_loop_headers_dominate_their_bodies(cfg):
     dom = compute_dominator_tree(cfg)
     forest = find_natural_loops(cfg, dom)
@@ -116,7 +116,7 @@ def test_loop_headers_dominate_their_bodies(cfg):
 
 
 @given(random_cfgs())
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=examples(40), deadline=None)
 def test_nested_loops_are_properly_contained(cfg):
     forest = find_natural_loops(cfg)
     for loop in forest:

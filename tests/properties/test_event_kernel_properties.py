@@ -1,0 +1,81 @@
+"""Property-based equivalence of the event-calendar time-skip kernel.
+
+On randomly generated programs — plain hammock loops and the
+violation-provoking store/load hammocks — a core with the time-skip
+kernel enabled must be observationally identical to one stepping every
+cycle: same :class:`SimStats` and the same event stream, event for
+event.
+
+Two stream flavours are pinned per program:
+
+* the non-verbose lifecycle stream, where the kernel actually runs
+  (this is what the golden traces render); and
+* the verbose stream, where attaching the verbose sink must auto-select
+  the cycle-exact fallback — so the flag setting cannot change a byte
+  there either.
+"""
+
+from hypothesis import given, settings
+
+from tests.helpers import examples
+
+from repro.cfg import build_program_cfgs
+from repro.obs import LIFECYCLE_KINDS, EventBus, JsonlTraceWriter
+from repro.polyflow import MachineConfig, PolyFlowCore
+from repro.sim import run_program
+from repro.spawn import SpawnAnalysis, profile_spawn_points
+
+from tests.properties.test_event_stream_properties import violating_programs
+from tests.properties.test_simulation_properties import random_hammock_programs
+
+import io
+
+
+def _run(program, spec, event_kernel, verbose):
+    """``(stats_dict, JSONL text)`` for one kernel/verbosity setting."""
+    trace = run_program(program)
+    analysis = SpawnAnalysis(build_program_cfgs(program))
+    policy = analysis.policy(spec)
+    profile = profile_spawn_points(trace, policy.points)
+    hints = profile.hint_table(policy, min_loop_task_size=4)
+    config = MachineConfig(min_spawn_distance=2)
+    buffer = io.StringIO()
+    bus = EventBus()
+    if verbose:
+        writer = bus.attach(JsonlTraceWriter(buffer), verbose=True)
+    else:
+        writer = bus.attach(
+            JsonlTraceWriter(buffer, kinds=LIFECYCLE_KINDS), verbose=False
+        )
+    stats = PolyFlowCore(
+        trace,
+        config,
+        hints,
+        bus=bus,
+        block_engine=True,
+        event_kernel=event_kernel,
+    ).run()
+    writer.close()
+    return stats.as_dict(), buffer.getvalue()
+
+
+def _assert_time_skip_transparent(program, spec):
+    for verbose in (False, True):
+        off_stats, off_stream = _run(program, spec, False, verbose)
+        on_stats, on_stream = _run(program, spec, True, verbose)
+        assert on_stream == off_stream
+        assert on_stats == off_stats
+
+
+@given(random_hammock_programs())
+@settings(max_examples=examples(20), deadline=None)
+def test_time_skip_transparent_on_random_hammocks(program):
+    _assert_time_skip_transparent(program, "postdoms")
+
+
+@given(violating_programs())
+@settings(max_examples=examples(15), deadline=None)
+def test_time_skip_transparent_under_violations(program):
+    """Squash/refetch recovery inside skip windows: violations land
+    mid-flight and the re-fetched region replays cycle-for-cycle."""
+    _assert_time_skip_transparent(program, "hammock")

@@ -11,6 +11,8 @@ aggregator tallies reconcile exactly with :class:`SimStats`.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from tests.helpers import examples
+
 from repro.cfg import build_program_cfgs
 from repro.isa import assemble
 from repro.obs import EventBus, MetricsAggregator
@@ -111,7 +113,7 @@ def test_generated_programs_do_violate():
 
 
 @given(violating_programs())
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=examples(25), deadline=None)
 def test_every_squash_has_a_matching_spawn(program):
     _, _, events, _ = _simulate_with_stream(program)
     started = set()
@@ -130,7 +132,7 @@ def test_every_squash_has_a_matching_spawn(program):
 
 
 @given(violating_programs())
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=examples(25), deadline=None)
 def test_commit_cycles_monotone_per_task_and_in_trace_order(program):
     trace, stats, events, _ = _simulate_with_stream(program)
     last_cycle_by_task = {}
@@ -150,7 +152,7 @@ def test_commit_cycles_monotone_per_task_and_in_trace_order(program):
 
 
 @given(violating_programs())
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=examples(25), deadline=None)
 def test_squash_chain_depth_bounded_by_active_tasks(program):
     """A squash chain can never be deeper than the tasks alive when it
     fires.  Squashed tasks are rolled back and restarted, not
@@ -168,7 +170,7 @@ def test_squash_chain_depth_bounded_by_active_tasks(program):
 
 
 @given(violating_programs())
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=examples(25), deadline=None)
 def test_every_started_task_commits_exactly_once(program):
     """Squashes rewind tasks rather than destroying them, so every
     started task eventually merges/commits exactly once."""
@@ -180,7 +182,7 @@ def test_every_started_task_commits_exactly_once(program):
 
 
 @given(violating_programs())
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=examples(25), deadline=None)
 def test_aggregator_reconciles_with_sim_stats(program):
     _, stats, _, aggregator = _simulate_with_stream(program)
     totals = aggregator.totals()

@@ -3,6 +3,8 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from tests.helpers import examples
+
 from repro.frontend import GsharePredictor, ReturnAddressStack
 from repro.memory import Cache
 
@@ -10,7 +12,7 @@ from repro.memory import Cache
 @given(
     st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=300)
 )
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=examples(50), deadline=None)
 def test_cache_hits_plus_misses_equals_accesses(addresses):
     cache = Cache(size=1024, associativity=2, line_size=64)
     for address in addresses:
@@ -21,7 +23,7 @@ def test_cache_hits_plus_misses_equals_accesses(addresses):
 @given(
     st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=200)
 )
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=examples(50), deadline=None)
 def test_immediate_reaccess_always_hits(addresses):
     cache = Cache(size=1024, associativity=2, line_size=64)
     for address in addresses:
@@ -32,7 +34,7 @@ def test_immediate_reaccess_always_hits(addresses):
 @given(
     st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=200)
 )
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=examples(50), deadline=None)
 def test_cache_set_occupancy_never_exceeds_associativity(addresses):
     cache = Cache(size=512, associativity=2, line_size=64)
     for address in addresses:
@@ -47,7 +49,7 @@ def test_cache_set_occupancy_never_exceeds_associativity(addresses):
         max_size=500,
     )
 )
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=examples(50), deadline=None)
 def test_gshare_counters_stay_saturated(outcomes):
     predictor = GsharePredictor(counters=64, history_bits=4)
     for pc, taken in outcomes:
@@ -57,7 +59,7 @@ def test_gshare_counters_stay_saturated(outcomes):
 
 
 @given(st.lists(st.integers(min_value=0, max_value=1 << 30), max_size=64))
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=examples(50), deadline=None)
 def test_ras_is_lifo_within_depth(pushes):
     ras = ReturnAddressStack(depth=16)
     for value in pushes:

@@ -4,6 +4,8 @@ retire exactly the committed trace, independent of policy."""
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from tests.helpers import examples
+
 from repro.cfg import build_program_cfgs
 from repro.isa import assemble
 from repro.polyflow import MachineConfig, PolyFlowCore, simulate_superscalar
@@ -53,7 +55,7 @@ def random_hammock_programs(draw):
 
 
 @given(random_hammock_programs())
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=examples(25), deadline=None)
 def test_every_policy_retires_the_whole_trace(program):
     trace = run_program(program)
     analysis = SpawnAnalysis(build_program_cfgs(program))
@@ -70,7 +72,7 @@ def test_every_policy_retires_the_whole_trace(program):
 
 
 @given(random_hammock_programs())
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=examples(15), deadline=None)
 def test_simulation_is_deterministic(program):
     trace = run_program(program)
     analysis = SpawnAnalysis(build_program_cfgs(program))
@@ -86,7 +88,7 @@ def test_simulation_is_deterministic(program):
 
 
 @given(random_hammock_programs())
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=examples(15), deadline=None)
 def test_functional_execution_matches_architectural_semantics(program):
     """r3 + r4 together count exactly the loop iterations."""
     from repro.sim.functional import FunctionalSimulator

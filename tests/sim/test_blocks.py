@@ -155,6 +155,58 @@ def test_describe_summarizes_table():
     assert summary["blocks"] == table.block_count() == len(table.starts)
     assert summary["version"] == BLOCK_FORMAT_VERSION
     assert summary["max_block_length"] >= summary["mean_block_length"] > 0
+    assert summary["plain_instructions"] == sum(
+        1
+        for i in range(table.length)
+        if _trace(_MEM).decoded().lat[i]
+        not in (LAT_MUL, LAT_LOAD, LAT_STORE)
+    )
+
+
+def test_plain_end_spans_single_cycle_runs_only():
+    """``plain_end[i]`` is the exclusive end of the maximal run of
+    single-cycle (non-load/store/mul) instructions starting at ``i``."""
+    trace = _trace(_MEM)
+    decoded = trace.decoded()
+    table = build_block_table(decoded)
+    for index in range(table.length):
+        end = table.plain_end[index]
+        if decoded.lat[index] in (LAT_MUL, LAT_LOAD, LAT_STORE):
+            # A long-latency or memory op caps its own run immediately.
+            assert end == index
+            continue
+        assert end > index
+        for covered in range(index, end):
+            assert decoded.lat[covered] not in (LAT_MUL, LAT_LOAD, LAT_STORE)
+        assert end == table.length or decoded.lat[end] in (
+            LAT_MUL,
+            LAT_LOAD,
+            LAT_STORE,
+        )
+
+
+def test_plain_end_is_suffix_consistent():
+    """Every position inside a run points at the same run end, so the
+    event kernel may probe ``plain_end`` from any batch start."""
+    table = build_block_table(_trace(_LOOP).decoded())
+    for index in range(table.length):
+        end = table.plain_end[index]
+        for inside in range(index, end):
+            assert table.plain_end[inside] == end
+
+
+def test_next_event_horizon_is_one_unless_muls_only():
+    trace = _trace(_LOOP)
+    table = build_block_table(trace.decoded())
+    for block, (length, muls, _loads, _stores) in enumerate(table.aggregates):
+        horizon = table.next_event_horizon(block, mul_latency=3)
+        if muls == length:
+            assert horizon == 3
+        else:
+            # Any single-cycle or memory op can complete one cycle
+            # after issue, so a time skip may never jump further.
+            assert horizon == 1
+        assert table.next_event_horizon(block, mul_latency=1) == 1
 
 
 # -- memoization and counters -----------------------------------------------------
