@@ -35,6 +35,7 @@ from repro.experiments.parallel import DEFAULT_CACHE_DIR, ParallelExperimentRunn
 _FIGURES = ("fig5", "fig8", "fig9", "fig10", "fig11", "fig12")
 _ABLATIONS = "ablations"
 _TRACE = "trace"
+_SYNTH = "synth"
 
 
 def main(argv=None):
@@ -45,10 +46,12 @@ def main(argv=None):
     )
     parser.add_argument(
         "figure",
-        choices=_FIGURES + (_ABLATIONS, _TRACE, "all"),
+        choices=_FIGURES + (_ABLATIONS, _TRACE, _SYNTH, "all"),
         help="which figure to regenerate ('ablations' runs the "
         "design-choice sweeps; 'trace' runs one fully-observed "
-        "simulation, see --workload/--policy)",
+        "simulation, see --workload/--policy; 'synth' sweeps the "
+        "synthesized scenario catalog and prints the win/loss "
+        "coverage map, see --sample/--slice)",
     )
     parser.add_argument(
         "--scale",
@@ -111,6 +114,34 @@ def main(argv=None):
         action="store_true",
         help="disable the on-disk result cache",
     )
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        help="(synth) sweep a deterministic stratified sample of this "
+        "many catalog scenarios (default: the whole catalog)",
+    )
+    parser.add_argument(
+        "--slice",
+        dest="slice_prefix",
+        default=None,
+        help="(synth) restrict the sweep to scenarios whose code starts "
+        "with this prefix, e.g. 'L2' or 'L2H3'",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="(synth) cap the number of swept scenarios (applied after "
+        "--slice, in catalog order; --sample takes precedence)",
+    )
+    parser.add_argument(
+        "--specs",
+        default=None,
+        help="(synth) comma-separated policy specs; the first is scored "
+        "against the best of the rest (default 'postdoms,"
+        "loop+procFT+loopFT')",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.figure == _TRACE:
@@ -130,6 +161,9 @@ def main(argv=None):
         schedule=arguments.schedule,
     )
     started = time.time()
+
+    if arguments.figure == _SYNTH:
+        return _run_synth(arguments, runner, started)
 
     if arguments.figure == _ABLATIONS:
         from repro.experiments import ablations
@@ -184,6 +218,38 @@ def main(argv=None):
                 heuristic_ratio, combination_ratio
             )
         )
+    _print_footer(runner, started)
+    return 0
+
+
+def _run_synth(arguments, runner, started):
+    """Sweep a catalog slice and print the coverage map (``synth``)."""
+    from repro.experiments import synth_sweep
+    from repro.workloads.synth import catalog_names, stratified_sample
+
+    names = catalog_names()
+    if arguments.slice_prefix:
+        prefix = "synth/" + arguments.slice_prefix
+        names = tuple(name for name in names if name.startswith(prefix))
+        if not names:
+            print(
+                "no catalog scenarios match slice {!r}".format(
+                    arguments.slice_prefix
+                ),
+                file=sys.stderr,
+            )
+            return 1
+    if arguments.sample is not None:
+        names = stratified_sample(arguments.sample, names=names)
+    elif arguments.limit is not None:
+        names = names[: arguments.limit]
+    specs = synth_sweep.DEFAULT_SPECS
+    if arguments.specs:
+        specs = tuple(
+            spec.strip() for spec in arguments.specs.split(",") if spec.strip()
+        )
+    rows = synth_sweep.sweep(runner, names, specs)
+    print(synth_sweep.coverage_map(rows, specs).render())
     _print_footer(runner, started)
     return 0
 

@@ -1,0 +1,167 @@
+"""Catalog sweeps and the win/loss coverage map.
+
+Sweeps policy specs over a slice of the synthesized scenario catalog
+through the existing runner/scheduler/cache stack, then aggregates
+*where* control-equivalent spawning wins, ties, and loses per
+structural stratum — speedup as a function of program structure rather
+than a fixed benchmark list, extending the paper's Figure 9/12 grid
+across the whole dial space.
+"""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import SUPERSCALAR_SPEC
+from repro.spawn import canonical_spec
+from repro.workloads.synth import Dials, scenario_dials
+
+#: The sweep's champion (the paper's contribution) followed by its
+#: challengers; the coverage map scores the first spec against the best
+#: of the rest.
+DEFAULT_SPECS = ("postdoms", "loop+procFT+loopFT")
+
+#: |champion - best challenger| below this many percentage points of
+#: speedup counts as a tie.
+TIE_MARGIN = 1.0
+
+WIN, TIE, LOSS = "win", "tie", "loss"
+
+
+class SweepRow:
+    """One swept scenario: its dials and per-spec speedups (%)."""
+
+    __slots__ = ("name", "dials", "speedups")
+
+    def __init__(self, name, dials, speedups):
+        self.name = name
+        self.dials = dials
+        self.speedups = speedups
+
+    def delta(self, specs):
+        """Champion speedup minus the best challenger's, in points."""
+        champion = self.speedups[specs[0]]
+        challengers = [self.speedups[spec] for spec in specs[1:]]
+        return champion - max(challengers)
+
+    def outcome(self, specs, margin=TIE_MARGIN):
+        delta = self.delta(specs)
+        if delta > margin:
+            return WIN
+        if delta < -margin:
+            return LOSS
+        return TIE
+
+
+def sweep(runner, names, specs=DEFAULT_SPECS):
+    """Simulate ``specs`` (plus the superscalar baseline) over catalog
+    ``names`` and return one :class:`SweepRow` per scenario.
+
+    All jobs go through ``runner.prefetch`` first, so a parallel runner
+    fans the grid out through the batched scheduler and serves repeat
+    runs entirely from the result cache.
+    """
+    specs = tuple(canonical_spec(spec) for spec in specs)
+    if len(specs) < 2:
+        raise ValueError("sweep needs a champion spec and >=1 challenger")
+    runner.prefetch(
+        [(name, spec) for name in names for spec in specs]
+        + [(name, SUPERSCALAR_SPEC) for name in names]
+    )
+    rows = []
+    for name in names:
+        speedups = {spec: runner.speedup(name, spec) for spec in specs}
+        rows.append(SweepRow(name, scenario_dials(name), speedups))
+    return rows
+
+
+class Bucket:
+    """Win/tie/loss tally with the mean champion-vs-challenger delta."""
+
+    __slots__ = ("wins", "ties", "losses", "delta_sum")
+
+    def __init__(self):
+        self.wins = 0
+        self.ties = 0
+        self.losses = 0
+        self.delta_sum = 0.0
+
+    def add(self, outcome, delta):
+        if outcome == WIN:
+            self.wins += 1
+        elif outcome == LOSS:
+            self.losses += 1
+        else:
+            self.ties += 1
+        self.delta_sum += delta
+
+    @property
+    def count(self):
+        return self.wins + self.ties + self.losses
+
+    @property
+    def mean_delta(self):
+        if not self.count:
+            return 0.0
+        return self.delta_sum / self.count
+
+
+class CoverageMap:
+    """Win/loss/tie tallies per dial axis level, plus the overall row."""
+
+    def __init__(self, specs, margin):
+        self.specs = specs
+        self.margin = margin
+        self.overall = Bucket()
+        self.by_axis = {
+            axis: {level: Bucket() for level in levels}
+            for axis, levels in Dials.axes()
+        }
+
+    def render(self):
+        title = (
+            "coverage map: {} vs best of {} ({} scenarios, "
+            "tie margin {:.1f} points)".format(
+                self.specs[0],
+                "/".join(self.specs[1:]),
+                self.overall.count,
+                self.margin,
+            )
+        )
+        headers = ("stratum", "n", "win", "tie", "loss", "mean delta")
+        rows = []
+        for axis, buckets in self.by_axis.items():
+            for level, bucket in sorted(buckets.items()):
+                if not bucket.count:
+                    continue
+                rows.append(
+                    (
+                        "{}={}".format(axis, level),
+                        bucket.count,
+                        bucket.wins,
+                        bucket.ties,
+                        bucket.losses,
+                        "{:+.1f}".format(bucket.mean_delta),
+                    )
+                )
+        rows.append(
+            (
+                "overall",
+                self.overall.count,
+                self.overall.wins,
+                self.overall.ties,
+                self.overall.losses,
+                "{:+.1f}".format(self.overall.mean_delta),
+            )
+        )
+        return format_table(headers, rows, title=title)
+
+
+def coverage_map(rows, specs=DEFAULT_SPECS, margin=TIE_MARGIN):
+    """Aggregate sweep rows into a :class:`CoverageMap`."""
+    specs = tuple(canonical_spec(spec) for spec in specs)
+    result = CoverageMap(specs, margin)
+    for row in rows:
+        outcome = row.outcome(specs, margin)
+        delta = row.delta(specs)
+        result.overall.add(outcome, delta)
+        for axis, _ in Dials.axes():
+            result.by_axis[axis][row.dials.level_of(axis)].add(outcome, delta)
+    return result

@@ -13,7 +13,13 @@ from repro.workloads import (  # noqa: F401  (re-exported for suite.py)
     vortex,
     vpr,
 )
-from repro.workloads.builder import AsmBuilder, check_scale, scaled
+from repro.workloads.builder import (
+    AsmBuilder,
+    check_scale,
+    derive_seed,
+    scaled,
+    seed_ledger,
+)
 from repro.workloads.suite import (
     WORKLOAD_NAMES,
     PreparedWorkload,
@@ -25,6 +31,8 @@ from repro.workloads.suite import (
 
 __all__ = [
     "AsmBuilder",
+    "derive_seed",
+    "seed_ledger",
     "scaled",
     "check_scale",
     "WORKLOAD_NAMES",

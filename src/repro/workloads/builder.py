@@ -15,16 +15,62 @@ Register conventions used by the generated code:
   save nothing, non-leaf calls save ``ra`` to a static slot).
 """
 
+import hashlib
 import random
 
 from repro.errors import ConfigurationError
 
 
-class AsmBuilder:
-    """Accumulates assembly text with unique labels."""
+def derive_seed(name, *extra):
+    """Deterministic 64-bit RNG seed derived from a workload name.
 
-    def __init__(self, name, seed=0):
+    Every workload (and every synthesized scenario) must build from its
+    own seed, never from a shared default: two builders silently
+    sharing one RNG stream would emit correlated "random" data and make
+    bit-reproducibility accidents invisible.  Extra components (variant
+    numbers, catalog versions) are folded into the hash.
+    """
+    hasher = hashlib.sha256(name.encode("utf-8"))
+    for item in extra:
+        hasher.update(b"|")
+        hasher.update(str(item).encode("utf-8"))
+    return int.from_bytes(hasher.digest()[:8], "little")
+
+
+#: seed -> workload name that first built with it (process-wide).  Two
+#: *different* workload names claiming the same seed is always a bug —
+#: their "independent" random data would be identical streams — so
+#: :class:`AsmBuilder` rejects it at construction time.
+_SEED_OWNERS = {}
+
+
+def seed_ledger():
+    """Snapshot of the seed -> owning-workload-name ledger (for tests)."""
+    return dict(_SEED_OWNERS)
+
+
+class AsmBuilder:
+    """Accumulates assembly text with unique labels.
+
+    ``seed`` defaults to :func:`derive_seed` of the builder's name, so
+    distinct workloads can never share an RNG stream by omission; an
+    explicit seed is accepted but must not collide with a different
+    workload's seed.
+    """
+
+    def __init__(self, name, seed=None):
         self.name = name
+        if seed is None:
+            seed = derive_seed(name)
+        owner = _SEED_OWNERS.setdefault(seed, name)
+        if owner != name:
+            raise ConfigurationError(
+                "workload {!r} reuses seed {:#x} already owned by workload "
+                "{!r}; derive a distinct per-workload seed".format(
+                    name, seed, owner
+                )
+            )
+        self.seed = seed
         self.random = random.Random(seed)
         self._text = []
         self._data = []

@@ -93,10 +93,22 @@ _PREPARED_CACHE = {}
 
 
 def workload_source(name, scale=1.0):
-    """The assembly source of one workload."""
+    """The assembly source of one workload.
+
+    ``synth/``-prefixed names resolve through the synthesized scenario
+    catalog (:mod:`repro.workloads.synth`); everything downstream —
+    analysis cache, scheduler cost model, warm worker pool, result
+    cache — treats catalog scenarios exactly like the hand-built suite
+    because this is the single place names become source text.
+    """
+    if name.startswith("synth/"):
+        from repro.workloads.synth import scenario_source
+
+        return scenario_source(name, scale)
     if name not in _BUILDERS:
         raise ConfigurationError(
-            "unknown workload {!r}; choose from {}".format(name, WORKLOAD_NAMES)
+            "unknown workload {!r}; choose from {} or a synth/ catalog "
+            "name".format(name, WORKLOAD_NAMES)
         )
     return _BUILDERS[name](scale)
 

@@ -1,0 +1,58 @@
+"""Seeded workload synthesizer with ground-truth structural oracles.
+
+See :mod:`repro.workloads.synth.generator` for the program generator,
+:mod:`repro.workloads.synth.oracle` for oracle verification, and
+:mod:`repro.workloads.synth.catalog` for the named 1000+-scenario
+catalog and its stratified sampling helpers.
+"""
+
+from repro.workloads.synth.catalog import (
+    CATALOG_PREFIX,
+    CATALOG_VERSION,
+    STRATUM_AXES,
+    build_scenario,
+    catalog_digest,
+    catalog_names,
+    is_catalog_name,
+    scenario_dials,
+    scenario_oracle,
+    scenario_seed,
+    scenario_source,
+    stratified_sample,
+)
+from repro.workloads.synth.dials import Dials
+from repro.workloads.synth.generator import SynthProgram, generate
+from repro.workloads.synth.oracle import (
+    BranchRecord,
+    LoopRecord,
+    ProcedureOracle,
+    StructuralOracle,
+    SwitchRecord,
+    verify_dynamics,
+    verify_oracle,
+)
+
+__all__ = [
+    "CATALOG_PREFIX",
+    "CATALOG_VERSION",
+    "STRATUM_AXES",
+    "BranchRecord",
+    "Dials",
+    "LoopRecord",
+    "ProcedureOracle",
+    "StructuralOracle",
+    "SwitchRecord",
+    "SynthProgram",
+    "build_scenario",
+    "catalog_digest",
+    "catalog_names",
+    "generate",
+    "is_catalog_name",
+    "scenario_dials",
+    "scenario_oracle",
+    "scenario_seed",
+    "scenario_source",
+    "stratified_sample",
+    "verify_dynamics",
+    "verify_oracle",
+]

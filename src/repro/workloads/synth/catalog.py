@@ -1,0 +1,140 @@
+"""The seeded scenario catalog.
+
+Names the full factorial dial space — 2592 scenarios — with
+deterministic per-scenario seeds and stratified sampling helpers.
+Catalog names look like ``synth/L2H1C0I1P2S0V1``: the ``synth/``
+prefix routes them through :func:`repro.workloads.workload_source`
+(so the entire experiment stack — analysis cache, scheduler, warm
+worker pool, result cache — runs them exactly like the hand-built
+suite), and the code after the prefix pins the scenario's
+:class:`~repro.workloads.synth.dials.Dials`.
+
+Seeds derive from the catalog version and scenario name, never from
+wall clock; "rotating" samples derive their rotation token from the
+catalog's own content digest, so the sampled subset changes when (and
+only when) the catalog changes.
+"""
+
+import functools
+import hashlib
+import itertools
+import random
+
+from repro.errors import ConfigurationError
+from repro.workloads.builder import derive_seed
+from repro.workloads.synth.dials import Dials
+from repro.workloads.synth.generator import generate
+
+#: Every catalog name starts with this; the suite layer routes such
+#: names to :func:`scenario_source`.
+CATALOG_PREFIX = "synth/"
+
+#: Bumping this reseeds every scenario (new random data everywhere)
+#: without renaming anything.
+CATALOG_VERSION = "v1"
+
+#: Dial axes used as sampling strata: coarse structure (nesting,
+#: hammocks, dispatch), so a stratified sample spans the shapes that
+#: matter most to control-equivalent spawning.
+STRATUM_AXES = ("loop_depth", "hammocks", "dispatch_level")
+
+
+def is_catalog_name(name):
+    """Whether ``name`` is (shaped like) a synth catalog name."""
+    return name.startswith(CATALOG_PREFIX)
+
+
+@functools.lru_cache(maxsize=1)
+def catalog_names():
+    """All scenario names, in canonical factorial order (2592 of them)."""
+    axes = [levels for _, levels in Dials.axes()]
+    names = []
+    for combo in itertools.product(*axes):
+        dials = Dials(*combo)
+        names.append(CATALOG_PREFIX + dials.code())
+    return tuple(names)
+
+
+def scenario_dials(name):
+    """The :class:`Dials` encoded in a catalog name."""
+    if not is_catalog_name(name):
+        raise ConfigurationError(
+            "not a synth catalog name: {!r} (expected prefix {!r})".format(
+                name, CATALOG_PREFIX
+            )
+        )
+    return Dials.from_code(name[len(CATALOG_PREFIX) :])
+
+
+def scenario_seed(name):
+    """The deterministic seed of a catalog scenario."""
+    scenario_dials(name)  # validate
+    return derive_seed(name, CATALOG_VERSION)
+
+
+@functools.lru_cache(maxsize=4096)
+def build_scenario(name, scale=1.0):
+    """Generate (and memoize) a catalog scenario's program + oracle."""
+    return generate(
+        name, scenario_dials(name), seed=scenario_seed(name), scale=scale
+    )
+
+
+def scenario_source(name, scale=1.0):
+    """Assembly source of a catalog scenario."""
+    return build_scenario(name, scale).source
+
+
+def scenario_oracle(name, scale=1.0):
+    """Structural oracle of a catalog scenario."""
+    return build_scenario(name, scale).oracle
+
+
+@functools.lru_cache(maxsize=1)
+def catalog_digest():
+    """Content digest of the catalog identity (names + version).
+
+    Used as the default rotation token for sampled subsets: the sample
+    rotates when the catalog itself changes, never with wall clock.
+    """
+    hasher = hashlib.sha256(CATALOG_VERSION.encode("utf-8"))
+    for name in catalog_names():
+        hasher.update(name.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def _stratum_key(name):
+    dials = scenario_dials(name)
+    return tuple(dials.level_of(axis) for axis in STRATUM_AXES)
+
+
+def stratified_sample(count, token=None, names=None):
+    """A deterministic, stratified sample of ``count`` catalog names.
+
+    Scenarios are grouped into strata over :data:`STRATUM_AXES`; each
+    stratum is shuffled by a seed derived from ``token`` (default: the
+    catalog digest) and the stratum key, then picks are taken
+    round-robin across strata so every structural shape is represented
+    before any is repeated.  Same token, same sample — forever.
+    """
+    if names is None:
+        names = catalog_names()
+    if token is None:
+        token = catalog_digest()[:16]
+    strata = {}
+    for name in names:
+        strata.setdefault(_stratum_key(name), []).append(name)
+    shuffled = []
+    for key in sorted(strata):
+        bucket = list(strata[key])
+        rng = random.Random(derive_seed("sample", token, key))
+        rng.shuffle(bucket)
+        shuffled.append(bucket)
+    sample = []
+    for rank in range(max(len(bucket) for bucket in shuffled)):
+        for bucket in shuffled:
+            if rank < len(bucket):
+                sample.append(bucket[rank])
+                if len(sample) == count:
+                    return sample
+    return sample

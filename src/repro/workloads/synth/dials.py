@@ -1,0 +1,183 @@
+"""The synthesizer's dial space.
+
+A :class:`Dials` value pins one point in the structural space the
+paper's results depend on: loop nesting depth, hammock density, call
+fan-out, indirect-jump dispatch, branch predictability, program scale,
+and whether hammock arms carry cross-task memory conflicts.  Every dial
+is a small *level* index so the full factorial space stays enumerable
+(and encodable in a scenario name) while each level maps onto concrete
+generator parameters.
+"""
+
+import re
+
+from repro.errors import ConfigurationError
+
+#: Levels per dial, in canonical order.  The catalog enumerates the
+#: full factorial product of these: 4*4*3*3*3*3*2 = 2592 scenarios.
+LOOP_DEPTH_LEVELS = (0, 1, 2, 3)
+HAMMOCK_LEVELS = (0, 1, 2, 3)
+FANOUT_LEVELS = (0, 1, 2)
+DISPATCH_LEVELS = (0, 1, 2)
+PREDICTABILITY_LEVELS = (0, 1, 2)
+SCALE_LEVELS = (0, 1, 2)
+CONFLICT_LEVELS = (0, 1)
+
+#: fanout level -> number of generated procedures (level 2 adds a
+#: second call-tree layer: main calls two procedures which each call a
+#: leaf).
+_FANOUT_PROCEDURES = (0, 2, 4)
+
+#: dispatch level -> ways of the indirect-jump dispatch table
+#: (power-of-two so the case index is a cheap mask of a counter).
+_DISPATCH_WAYS = (0, 4, 8)
+
+#: predictability level -> taken-probability of generated branch-bit
+#: arrays (biased / mixed / balanced).
+_TAKEN_PROBABILITIES = (0.97, 0.8, 0.5)
+
+#: scale level -> innermost-loop iteration base (outer loop levels stay
+#: at 2-3 iterations so deep nests do not explode the trace).
+_INNER_ITERATION_BASES = (3, 5, 8)
+
+_CODE_PATTERN = re.compile(
+    r"^L(?P<l>\d)H(?P<h>\d)C(?P<c>\d)I(?P<i>\d)P(?P<p>\d)S(?P<s>\d)V(?P<v>\d)$"
+)
+
+
+class Dials:
+    """One point in the synthesizer's structural dial space."""
+
+    __slots__ = (
+        "loop_depth",
+        "hammocks",
+        "fanout_level",
+        "dispatch_level",
+        "predictability",
+        "scale_level",
+        "conflict",
+    )
+
+    def __init__(
+        self,
+        loop_depth=1,
+        hammocks=1,
+        fanout_level=0,
+        dispatch_level=0,
+        predictability=0,
+        scale_level=1,
+        conflict=0,
+    ):
+        settings = (
+            ("loop_depth", loop_depth, LOOP_DEPTH_LEVELS),
+            ("hammocks", hammocks, HAMMOCK_LEVELS),
+            ("fanout_level", fanout_level, FANOUT_LEVELS),
+            ("dispatch_level", dispatch_level, DISPATCH_LEVELS),
+            ("predictability", predictability, PREDICTABILITY_LEVELS),
+            ("scale_level", scale_level, SCALE_LEVELS),
+            ("conflict", conflict, CONFLICT_LEVELS),
+        )
+        for attribute, value, levels in settings:
+            if value not in levels:
+                raise ConfigurationError(
+                    "synth dial {} must be one of {}, got {!r}".format(
+                        attribute, levels, value
+                    )
+                )
+            object.__setattr__(self, attribute, value)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Dials is immutable")
+
+    # -- encoding ----------------------------------------------------------
+
+    def code(self):
+        """The canonical scenario code, e.g. ``L2H1C0I1P2S0V1``."""
+        return "L{}H{}C{}I{}P{}S{}V{}".format(
+            self.loop_depth,
+            self.hammocks,
+            self.fanout_level,
+            self.dispatch_level,
+            self.predictability,
+            self.scale_level,
+            self.conflict,
+        )
+
+    @classmethod
+    def from_code(cls, code):
+        """Parse a scenario code produced by :meth:`code`."""
+        match = _CODE_PATTERN.match(code)
+        if match is None:
+            raise ConfigurationError(
+                "malformed synth scenario code {!r} (expected e.g. "
+                "L2H1C0I1P2S0V1)".format(code)
+            )
+        return cls(
+            loop_depth=int(match.group("l")),
+            hammocks=int(match.group("h")),
+            fanout_level=int(match.group("c")),
+            dispatch_level=int(match.group("i")),
+            predictability=int(match.group("p")),
+            scale_level=int(match.group("s")),
+            conflict=int(match.group("v")),
+        )
+
+    # -- derived generator parameters --------------------------------------
+
+    @property
+    def procedures(self):
+        """Number of generated procedures."""
+        return _FANOUT_PROCEDURES[self.fanout_level]
+
+    @property
+    def dispatch_ways(self):
+        """Ways of the indirect-jump dispatch table (0 = none)."""
+        return _DISPATCH_WAYS[self.dispatch_level]
+
+    @property
+    def taken_probability(self):
+        """Taken-probability for generated branch-bit arrays."""
+        return _TAKEN_PROBABILITIES[self.predictability]
+
+    @property
+    def inner_iteration_base(self):
+        """Unscaled iteration count of the innermost loop level."""
+        return _INNER_ITERATION_BASES[self.scale_level]
+
+    # -- introspection ------------------------------------------------------
+
+    @classmethod
+    def axes(cls):
+        """Ordered (dial name, levels) pairs spanning the full space."""
+        return (
+            ("loop_depth", LOOP_DEPTH_LEVELS),
+            ("hammocks", HAMMOCK_LEVELS),
+            ("fanout_level", FANOUT_LEVELS),
+            ("dispatch_level", DISPATCH_LEVELS),
+            ("predictability", PREDICTABILITY_LEVELS),
+            ("scale_level", SCALE_LEVELS),
+            ("conflict", CONFLICT_LEVELS),
+        )
+
+    def level_of(self, axis):
+        """The level of ``axis`` (one of the :meth:`axes` names)."""
+        return getattr(self, axis)
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name, _ in self.axes()}
+
+    def __eq__(self, other):
+        if not isinstance(other, Dials):
+            return NotImplemented
+        return self.code() == other.code()
+
+    def __hash__(self):
+        return hash(self.code())
+
+    def __repr__(self):
+        return "Dials({})".format(
+            ", ".join(
+                "{}={}".format(name, getattr(self, name))
+                for name, _ in self.axes()
+            )
+        )

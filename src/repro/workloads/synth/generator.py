@@ -1,0 +1,357 @@
+"""The seeded workload synthesizer.
+
+Generates structurally parameterized ``repro.isa`` programs through
+:class:`~repro.workloads.builder.AsmBuilder`, from *structured regions
+only* — counted loops, two-arm hammocks, switch dispatch loops, and a
+small call tree — so the generator knows, at emission time, the exact
+ipdom of every branch, the reconvergence point of every indirect jump,
+and the full loop forest.  That knowledge is recorded as a
+:class:`~repro.workloads.synth.oracle.StructuralOracle` alongside the
+assembly text, letting the repository's analyses be checked against
+constructed ground truth.
+
+Register allocation of generated code (disjoint from counters so calls
+and dispatch never corrupt control flow):
+
+* ``r1``  address scratch, ``r2`` loaded branch bit,
+* ``r3``-``r5`` accumulators, ``r6`` conflict store value,
+* ``r7``  conflict join load, ``r8`` conflict slot base,
+* ``r10``-``r12`` main loop counters (one per nesting level),
+* ``r13`` index temp, ``r14`` dispatch target temp,
+* ``r15`` procedure loop counter, ``r27`` dispatch loop counter,
+* ``r16``-``r22`` builder filler, ``r24``/``r25`` stable filler sources.
+
+Switch dispatch is always wrapped in its own counted loop iterating at
+least twice per table way with the case index taken from the counter:
+the CFG layer resolves ``jr`` successors from the *observed* jump
+profile, so every case must execute for the recorded join to be the
+true ipdom of the dispatch block.
+"""
+
+from repro.workloads.builder import AsmBuilder, check_scale, derive_seed, scaled
+from repro.workloads.synth.dials import Dials
+from repro.workloads.synth.oracle import (
+    BranchRecord,
+    LoopRecord,
+    ProcedureOracle,
+    StructuralOracle,
+    SwitchRecord,
+)
+
+_MAIN_COUNTERS = (10, 11, 12)
+_PROC_COUNTER = 15
+_DISPATCH_COUNTER = 27
+#: Fixed iterations of non-innermost main loop levels; kept tiny so
+#: deep nests scale the trace multiplicatively but boundedly.
+_OUTER_ITERATIONS = (2, 3)
+
+
+class SynthProgram:
+    """One synthesized program: source text plus its structural oracle."""
+
+    __slots__ = ("name", "dials", "seed", "scale", "source", "oracle")
+
+    def __init__(self, name, dials, seed, scale, source, oracle):
+        self.name = name
+        self.dials = dials
+        self.seed = seed
+        self.scale = scale
+        self.source = source
+        self.oracle = oracle
+
+    def __repr__(self):
+        return "SynthProgram({!r}, seed={:#x})".format(self.name, self.seed)
+
+
+class _Context:
+    """Where emission currently stands: enclosing counter register,
+    dynamic trip count of this code point, and enclosing loop header."""
+
+    __slots__ = ("counter", "trips", "loop_header", "depth")
+
+    def __init__(self, counter, trips, loop_header, depth):
+        self.counter = counter
+        self.trips = trips
+        self.loop_header = loop_header
+        self.depth = depth
+
+
+class _Generator:
+    def __init__(self, name, dials, seed, scale):
+        self.dials = dials
+        self.scale = check_scale(scale)
+        self.builder = AsmBuilder(name, seed=seed)
+        self.rng = self.builder.random
+        self.oracle = StructuralOracle(name, dials, seed)
+        self.proc = None
+        self._bits = []
+        self._tables = []
+        self._slots = []
+        self._conflict_slot = None
+
+    # -- data helpers -------------------------------------------------------
+
+    def _new_bits(self):
+        label = self.builder.fresh_label("BITS")
+        words = self.builder.random_bits(64, self.dials.taken_probability)
+        self._bits.append((label, words))
+        return label
+
+    def _new_slot(self):
+        label = self.builder.fresh_label("SLOT")
+        self._slots.append(label)
+        return label
+
+    # -- filler -------------------------------------------------------------
+
+    def _emit_filler(self, budget):
+        builder = self.builder
+        builder.emit_independent_alu(self.rng.randint(1, budget))
+        if self.rng.random() < 0.4:
+            builder.emit_serial_chain(self.rng.randint(1, 3))
+        accumulator = self.rng.choice((3, 4, 5))
+        builder.emit("add r{0}, r{0}, r24".format(accumulator))
+
+    # -- hammocks -----------------------------------------------------------
+
+    def _emit_bit_load(self, context):
+        """Load this site's branch bit into r2 (counter-indexed)."""
+        builder = self.builder
+        bits = self._new_bits()
+        if context.counter is not None:
+            builder.emit("andi r13, r{}, 63".format(context.counter))
+            builder.emit("slli r13, r13, 3")
+            builder.emit("la r1, {}".format(bits))
+            builder.emit("add r1, r1, r13")
+        else:
+            builder.emit("la r1, {}".format(bits))
+        builder.emit("lw r2, 0(r1)")
+
+    def _emit_arm(self, conflict):
+        builder = self.builder
+        if conflict:
+            builder.emit_serial_chain(self.rng.randint(1, 3), register=6)
+            builder.emit("sw r6, 0(r8)")
+        else:
+            self._emit_filler(3)
+
+    def _emit_hammock(self, context, nested_allowed):
+        """A two-arm (or if-then) hammock; join == ipdom by construction."""
+        builder = self.builder
+        conflict = self.dials.conflict == 1
+        marker = builder.fresh_label("BR")
+        join = builder.fresh_label("JOIN")
+        has_else = conflict or self.rng.random() < 0.7
+        self._emit_bit_load(context)
+        builder.label(marker)
+        if has_else:
+            else_label = builder.fresh_label("ELSE")
+            builder.emit("bne r2, r0, {}".format(else_label))
+        else:
+            builder.emit("bne r2, r0, {}".format(join))
+        if nested_allowed and self.rng.random() < 0.6:
+            self._emit_hammock(context, nested_allowed=False)
+        self._emit_arm(conflict)
+        if has_else:
+            builder.emit("j {}".format(join))
+            builder.label(else_label)
+            self._emit_arm(conflict)
+        builder.label(join)
+        if conflict:
+            builder.emit("lw r7, 0(r8)")
+            builder.emit("add r3, r3, r7")
+        self.proc.branches.append(BranchRecord(marker, join, "hammock"))
+
+    # -- loops --------------------------------------------------------------
+
+    def _emit_loop(self, context, iterations, counter, prefix, body):
+        """A counted loop; the header exit test's ipdom is the exit block."""
+        builder = self.builder
+        head = builder.fresh_label(prefix)
+        exit_label = builder.fresh_label(prefix + "X")
+        builder.emit("li r{}, {}".format(counter, iterations))
+        builder.label(head)
+        builder.emit("blez r{}, {}".format(counter, exit_label))
+        self.proc.loops.append(
+            LoopRecord(head, context.loop_header, iterations, context.trips)
+        )
+        self.proc.branches.append(BranchRecord(head, exit_label, "loop"))
+        inner = _Context(
+            counter, context.trips * iterations, head, context.depth + 1
+        )
+        body(inner)
+        builder.emit("addi r{0}, r{0}, -1".format(counter))
+        builder.emit("j {}".format(head))
+        builder.label(exit_label)
+
+    # -- indirect dispatch ---------------------------------------------------
+
+    def _emit_dispatch(self, context):
+        """A ``jr``-table dispatch wrapped in a loop covering every case."""
+        builder = self.builder
+        ways = self.dials.dispatch_ways
+        iterations = 2 * ways
+        table = builder.fresh_label("DTAB")
+        marker = builder.fresh_label("DBR")
+        join = builder.fresh_label("DJOIN")
+        cases = [builder.fresh_label("DCASE") for _ in range(ways)]
+        self._tables.append((table, cases))
+
+        def body(inner):
+            builder.emit("andi r13, r{}, {}".format(inner.counter, ways - 1))
+            builder.emit("slli r13, r13, 3")
+            builder.emit("la r14, {}".format(table))
+            builder.emit("add r14, r14, r13")
+            builder.emit("lw r14, 0(r14)")
+            builder.label(marker)
+            builder.emit("jr r14")
+            self.proc.switches.append(SwitchRecord(marker, join, ways))
+            for case in cases:
+                builder.label(case)
+                builder.emit_independent_alu(self.rng.randint(1, 2))
+                builder.emit("add r5, r5, r25")
+                builder.emit("j {}".format(join))
+            builder.label(join)
+
+        self._emit_loop(context, iterations, _DISPATCH_COUNTER, "DSP", body)
+
+    # -- program regions -----------------------------------------------------
+
+    def _emit_innermost(self, context):
+        for index in range(self.dials.hammocks):
+            nested = self.dials.hammocks >= 2 and index == 0
+            self._emit_hammock(context, nested_allowed=nested)
+            if self.rng.random() < 0.5:
+                self._emit_filler(3)
+        if self.dials.hammocks == 0:
+            self._emit_filler(4)
+
+    def _emit_calls_and_dispatch(self, context, top_procs):
+        builder = self.builder
+        for label in top_procs:
+            builder.emit("jal {}".format(label))
+        if self.dials.dispatch_ways:
+            self._emit_dispatch(context)
+
+    def _emit_nest(self, context, level, top_procs):
+        innermost = level == self.dials.loop_depth - 1
+        if innermost:
+            iterations = scaled(
+                self.dials.inner_iteration_base, self.scale, minimum=2
+            )
+        else:
+            iterations = self.rng.choice(_OUTER_ITERATIONS)
+
+        def body(inner):
+            if level == 0:
+                self._emit_calls_and_dispatch(inner, top_procs)
+            if innermost:
+                self._emit_innermost(inner)
+            else:
+                self._emit_filler(2)
+                self._emit_nest(inner, level + 1, top_procs)
+
+        self._emit_loop(
+            context, iterations, _MAIN_COUNTERS[level], "L{}".format(level), body
+        )
+
+    def _emit_procedure(self, label, children, trips):
+        builder = self.builder
+        self.proc = ProcedureOracle(label, label)
+        self.oracle.procedures.append(self.proc)
+        builder.label(label)
+        slot = None
+        if children:
+            slot = self._new_slot()
+            builder.emit("la r1, {}".format(slot))
+            builder.emit("sw ra, 0(r1)")
+        context = _Context(None, trips, None, 0)
+        builder.emit_independent_alu(self.rng.randint(2, 4))
+        if self.rng.random() < 0.6:
+
+            def body(inner):
+                self._emit_filler(2)
+                if self.dials.hammocks:
+                    self._emit_hammock(inner, nested_allowed=False)
+
+            self._emit_loop(
+                context,
+                self.rng.choice(_OUTER_ITERATIONS),
+                _PROC_COUNTER,
+                "PL",
+                body,
+            )
+        elif self.dials.hammocks:
+            self._emit_hammock(context, nested_allowed=False)
+        for child in children:
+            builder.emit("jal {}".format(child))
+        if children:
+            builder.emit("la r1, {}".format(slot))
+            builder.emit("lw ra, 0(r1)")
+        builder.emit("jr ra")
+
+    # -- driver --------------------------------------------------------------
+
+    def generate(self):
+        builder = self.builder
+        dials = self.dials
+        procedures = dials.procedures
+        top_procs = ["PROC_{}".format(index) for index in range(min(procedures, 2))]
+        leaf_procs = ["PROC_{}".format(index) for index in range(2, procedures)]
+
+        self.proc = ProcedureOracle("main", "main")
+        self.oracle.procedures.append(self.proc)
+        builder.label("main")
+        builder.emit("li r24, 7")
+        builder.emit("li r25, 13")
+        if dials.conflict:
+            self._conflict_slot = self._new_slot()
+            builder.emit("la r8, {}".format(self._conflict_slot))
+
+        context = _Context(None, 1, None, 0)
+        if dials.loop_depth == 0:
+            self._emit_calls_and_dispatch(context, top_procs)
+            self._emit_innermost(context)
+            call_trips = 1
+        else:
+            self._emit_nest(context, 0, top_procs)
+            # level-0 body trips: the calls execute once per outermost
+            # iteration, recorded when the loop above was planned.
+            call_trips = self.oracle.procedures[0].loops[0].iterations
+        builder.emit("halt")
+
+        for index, label in enumerate(top_procs):
+            child = [leaf_procs[index]] if index < len(leaf_procs) else []
+            self._emit_procedure(label, child, call_trips)
+            for leaf in child:
+                self._emit_procedure(leaf, [], call_trips)
+
+        for label, words in self._bits:
+            builder.data_words(label, words)
+        for label in self._slots:
+            builder.data_words(label, [0])
+        for label, cases in self._tables:
+            builder.data_words(label, cases)
+
+        return SynthProgram(
+            self.oracle.name,
+            dials,
+            self.builder.seed,
+            self.scale,
+            builder.source(),
+            self.oracle,
+        )
+
+
+def generate(name, dials, seed=None, scale=1.0):
+    """Synthesize the program for ``name`` at one dial-space point.
+
+    ``seed`` defaults to :func:`~repro.workloads.builder.derive_seed`
+    of the name, so equal names always produce byte-identical sources.
+    Returns a :class:`SynthProgram`.
+    """
+    if not isinstance(dials, Dials):
+        raise TypeError("dials must be a Dials instance")
+    if seed is None:
+        seed = derive_seed(name)
+    return _Generator(name, dials, seed, scale).generate()

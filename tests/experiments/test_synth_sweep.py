@@ -1,0 +1,143 @@
+"""The catalog sweep and win/loss coverage map."""
+
+import shutil
+import tempfile
+
+import pytest
+
+from repro.experiments import synth_sweep
+from repro.experiments.__main__ import main
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.synth_sweep import (
+    LOSS,
+    TIE,
+    WIN,
+    SweepRow,
+    coverage_map,
+    sweep,
+)
+from repro.workloads.synth import Dials, stratified_sample
+
+_NAMES = (
+    "synth/L1H1C0I0P0S0V0",
+    "synth/L0H2C1I1P1S0V0",
+    "synth/L2H0C0I0P2S0V1",
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    runner = ExperimentRunner(scale=0.3)
+    return sweep(runner, _NAMES)
+
+
+def test_sweep_produces_one_row_per_scenario(rows):
+    assert [row.name for row in rows] == list(_NAMES)
+    for row in rows:
+        assert set(row.speedups) == set(
+            ("postdoms", "loop+procFT+loopFT")
+        )
+        assert isinstance(row.dials, Dials)
+
+
+def test_sweep_resolves_spec_aliases():
+    runner = ExperimentRunner(scale=0.3)
+    aliased = sweep(
+        runner, _NAMES[:1], specs=("control-equivalent", "best-heuristic")
+    )
+    assert set(aliased[0].speedups) == {"postdoms", "loop+procFT+loopFT"}
+
+
+def test_sweep_requires_a_challenger():
+    runner = ExperimentRunner(scale=0.3)
+    with pytest.raises(ValueError):
+        sweep(runner, _NAMES[:1], specs=("postdoms",))
+
+
+def test_outcome_margins():
+    dials = Dials()
+    specs = ("postdoms", "loop")
+    win = SweepRow("a", dials, {"postdoms": 10.0, "loop": 2.0})
+    tie = SweepRow("b", dials, {"postdoms": 5.0, "loop": 5.5})
+    loss = SweepRow("c", dials, {"postdoms": 1.0, "loop": 9.0})
+    assert win.outcome(specs) == WIN
+    assert tie.outcome(specs) == TIE
+    assert loss.outcome(specs) == LOSS
+    assert win.delta(specs) == pytest.approx(8.0)
+
+
+def test_coverage_map_buckets_reconcile(rows):
+    result = coverage_map(rows)
+    assert result.overall.count == len(rows)
+    for axis, _ in Dials.axes():
+        axis_total = sum(
+            bucket.count for bucket in result.by_axis[axis].values()
+        )
+        assert axis_total == len(rows)
+    rendered = result.render()
+    assert "coverage map" in rendered
+    assert "overall" in rendered
+    assert "loop_depth=" in rendered
+
+
+def test_coverage_map_mean_delta():
+    dials = Dials()
+    specs = ("postdoms", "loop")
+    rows = [
+        SweepRow("a", dials, {"postdoms": 10.0, "loop": 2.0}),
+        SweepRow("b", dials, {"postdoms": 2.0, "loop": 10.0}),
+    ]
+    result = coverage_map(rows, specs)
+    assert result.overall.wins == 1 and result.overall.losses == 1
+    assert result.overall.mean_delta == pytest.approx(0.0)
+
+
+def test_cli_synth_sweep_end_to_end_with_cache_hits(capsys):
+    """The synth subcommand runs through the scheduler stack and the
+    repeat run is served entirely from the result cache."""
+    cache_dir = tempfile.mkdtemp(prefix="synth-sweep-cli-")
+    try:
+        argv = [
+            "synth",
+            "--sample",
+            "3",
+            "--scale",
+            "0.3",
+            "--cache-dir",
+            cache_dir,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "coverage map" in first.out
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert " 0 simulated" in second.err
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def test_cli_synth_slice_and_limit(capsys):
+    assert (
+        main(
+            [
+                "synth",
+                "--slice",
+                "L0H0",
+                "--limit",
+                "2",
+                "--scale",
+                "0.3",
+                "--no-cache",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "2 scenarios" in out
+    assert main(["synth", "--slice", "ZZZ", "--no-cache"]) == 1
+
+
+def test_default_specs_cover_paper_champion():
+    assert synth_sweep.DEFAULT_SPECS[0] == "postdoms"
+    assert len(stratified_sample(5)) == 5

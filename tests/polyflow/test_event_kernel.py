@@ -27,7 +27,7 @@ from repro.polyflow.event_kernel import EVENT_KERNEL_ENV, kernel_enabled_default
 from repro.sim import run_program
 from repro.spawn import SpawnAnalysis, profile_spawn_points
 
-from tests.properties.test_event_stream_properties import _hammock_store_program
+from tests.strategies import pinned_violating_program
 
 
 def _prepare(source, spec="postdoms", **config_kwargs):
@@ -144,7 +144,7 @@ def test_squash_lands_mid_skip():
     """A memory-order violation squashes speculative tasks while cold
     caches keep long skip windows open: recovery re-fetch timing must
     survive the clock jumps."""
-    program = _hammock_store_program(24, 6, 10, [1, 0, 1, 0, 0, 1, 1, 0])
+    program = pinned_violating_program()
     trace = run_program(program)
     analysis = SpawnAnalysis(build_program_cfgs(program))
     policy = analysis.policy("hammock")

@@ -15,6 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from tests.helpers import examples
+from tests.strategies import synth_sources
 
 from repro.analysis.pipeline import (
     AnalysisCache,
@@ -24,42 +25,9 @@ from repro.analysis.pipeline import (
 
 _SETTINGS = dict(max_examples=examples(15), deadline=None)
 
-
-@st.composite
-def small_loop_sources(draw):
-    """A small loop-plus-hammock program with drawn shape parameters.
-
-    Varied iteration counts and arm lengths change the trace, the CFG,
-    and the spawn-point classification, so each example exercises the
-    whole pipeline on a distinct program text.
-    """
-    iterations = draw(st.integers(min_value=1, max_value=12))
-    then_len = draw(st.integers(min_value=1, max_value=4))
-    else_len = draw(st.integers(min_value=1, max_value=4))
-    parity = draw(st.integers(min_value=1, max_value=3))
-    then_body = "\n".join("    addi r3, r3, 1" for _ in range(then_len))
-    else_body = "\n".join("    addi r4, r4, 2" for _ in range(else_len))
-    return """
-        .text
-        main:
-            li   r10, {iterations}
-        loop:
-            andi r11, r10, {parity}
-            bne  r11, r0, arm_else
-        {then_body}
-            j    join
-        arm_else:
-        {else_body}
-        join:
-            addi r10, r10, -1
-            bgtz r10, loop
-            halt
-    """.format(
-        iterations=iterations,
-        parity=parity,
-        then_body=then_body,
-        else_body=else_body,
-    )
+# Small loop-plus-hammock programs with drawn dial/shape parameters:
+# every example exercises the whole pipeline on a distinct program text.
+small_loop_sources = synth_sources
 
 
 def _fingerprint(analyses):

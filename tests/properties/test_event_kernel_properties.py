@@ -25,8 +25,7 @@ from repro.polyflow import MachineConfig, PolyFlowCore
 from repro.sim import run_program
 from repro.spawn import SpawnAnalysis, profile_spawn_points
 
-from tests.properties.test_event_stream_properties import violating_programs
-from tests.properties.test_simulation_properties import random_hammock_programs
+from tests.strategies import random_hammock_programs, violating_programs
 
 import io
 

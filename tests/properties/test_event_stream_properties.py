@@ -9,73 +9,15 @@ aggregator tallies reconcile exactly with :class:`SimStats`.
 """
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from tests.helpers import examples
+from tests.strategies import pinned_violating_program, violating_programs
 
 from repro.cfg import build_program_cfgs
-from repro.isa import assemble
 from repro.obs import EventBus, MetricsAggregator
 from repro.polyflow import MachineConfig, PolyFlowCore
 from repro.sim import run_program
 from repro.spawn import SpawnAnalysis, profile_spawn_points
-
-
-def _hammock_store_program(iterations, then_len, else_len, bits):
-    """A loop around a hammock whose arms store to an accumulator that
-    is loaded right after the join.
-
-    A hammock (or postdominator) spawn at the join starts a new task
-    whose first instruction loads the accumulator — a memory dependence
-    on a store still executing in the older task's arm, behind a serial
-    dependency chain.  The speculative load wins the race and triggers
-    a dependence violation, exercising the squash path.
-    """
-    then_chain = "\n".join("    addi r5, r5, 3" for _ in range(then_len))
-    else_chain = "\n".join("    addi r5, r5, 7" for _ in range(else_len))
-    source = """
-        .text
-        main:
-            la   r9, bits
-            la   r8, acc
-            li   r10, {iterations}
-        loop:
-            andi r11, r10, 7
-            slli r11, r11, 3
-            add  r11, r9, r11
-            lw   r2, 0(r11)
-            bne  r2, r0, arm_else
-        {then_chain}
-            sw   r5, 0(r8)
-            j    join
-        arm_else:
-        {else_chain}
-            sw   r5, 0(r8)
-        join:
-            lw   r6, 0(r8)
-            add  r7, r7, r6
-            addi r10, r10, -1
-            bne  r10, r0, loop
-            halt
-        .data
-        acc: .word 0
-        bits: .word {bits}
-    """.format(
-        iterations=iterations,
-        then_chain=then_chain,
-        else_chain=else_chain,
-        bits=", ".join(str(bit) for bit in bits),
-    )
-    return assemble(source)
-
-
-@st.composite
-def violating_programs(draw):
-    iterations = draw(st.integers(min_value=4, max_value=40))
-    then_len = draw(st.integers(min_value=2, max_value=10))
-    else_len = draw(st.integers(min_value=2, max_value=10))
-    bits = draw(st.lists(st.integers(0, 1), min_size=8, max_size=8))
-    return _hammock_store_program(iterations, then_len, else_len, bits)
 
 
 class _Recorder:
@@ -103,9 +45,9 @@ def _simulate_with_stream(program, spec="postdoms"):
 
 
 def test_generated_programs_do_violate():
-    """The generator's shape really exercises the violation/squash
-    path (pinned so the suite notices if the machinery goes silent)."""
-    program = _hammock_store_program(24, 6, 10, [1, 0, 1, 0, 0, 1, 1, 0])
+    """The generator's conflict shape really exercises the violation/
+    squash path (pinned so the suite notices if it goes silent)."""
+    program = pinned_violating_program()
     _, stats, events, _ = _simulate_with_stream(program, spec="hammock")
     assert stats.violation_squashes > 0
     assert any(event.kind == "violation" for event in events)

@@ -2,56 +2,16 @@
 retire exactly the committed trace, independent of policy."""
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from tests.helpers import examples
+from tests.strategies import random_hammock_programs, synth_bundles
 
 from repro.cfg import build_program_cfgs
 from repro.isa import assemble
 from repro.polyflow import MachineConfig, PolyFlowCore, simulate_superscalar
 from repro.sim import run_program
 from repro.spawn import SpawnAnalysis, profile_spawn_points
-
-
-@st.composite
-def random_hammock_programs(draw):
-    """A loop over random data with a configurable hammock inside."""
-    iterations = draw(st.integers(min_value=2, max_value=40))
-    then_len = draw(st.integers(min_value=1, max_value=6))
-    else_len = draw(st.integers(min_value=1, max_value=6))
-    bits = draw(
-        st.lists(st.integers(0, 1), min_size=8, max_size=8)
-    )
-    then_body = "\n".join("    addi r3, r3, 1" for _ in range(then_len))
-    else_body = "\n".join("    addi r4, r4, 1" for _ in range(else_len))
-    source = """
-        .text
-        main:
-            la   r9, bits
-            li   r10, {iterations}
-        loop:
-            andi r11, r10, 7
-            slli r11, r11, 3
-            add  r11, r9, r11
-            lw   r2, 0(r11)
-            bne  r2, r0, arm_else
-        {then_body}
-            j    join
-        arm_else:
-        {else_body}
-        join:
-            addi r10, r10, -1
-            bne  r10, r0, loop
-            halt
-        .data
-        bits: .word {bits}
-    """.format(
-        iterations=iterations,
-        then_body=then_body,
-        else_body=else_body,
-        bits=", ".join(str(bit) for bit in bits),
-    )
-    return assemble(source)
+from repro.workloads.synth import verify_dynamics
 
 
 @given(random_hammock_programs())
@@ -87,20 +47,12 @@ def test_simulation_is_deterministic(program):
     assert first.violation_squashes == second.violation_squashes
 
 
-@given(random_hammock_programs())
+@given(synth_bundles())
 @settings(max_examples=examples(15), deadline=None)
-def test_functional_execution_matches_architectural_semantics(program):
-    """r3 + r4 together count exactly the loop iterations."""
-    from repro.sim.functional import FunctionalSimulator
-
-    simulator = FunctionalSimulator(program)
-    trace = simulator.run()
+def test_functional_execution_matches_architectural_semantics(bundle):
+    """The committed trace executes every generated loop exactly as the
+    synthesizer planned it (trip counts from the structural oracle)."""
+    program = assemble(bundle.source)
+    trace = run_program(program)
     assert trace.halted
-    state = simulator.final_state
-    loop_count = sum(
-        1 for record in trace if record.inst.text.startswith("bne  r10")
-    )
-    then_arm_lengths = state.read_register(3)
-    else_arm_lengths = state.read_register(4)
-    assert then_arm_lengths + else_arm_lengths > 0
-    assert loop_count > 0
+    assert verify_dynamics(bundle.oracle, program, trace) == []

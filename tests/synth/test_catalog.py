@@ -1,0 +1,85 @@
+"""The scenario catalog: naming, seeding, sampling, suite integration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import prepare_workload, workload_source
+from repro.workloads.synth import (
+    CATALOG_PREFIX,
+    Dials,
+    catalog_digest,
+    catalog_names,
+    is_catalog_name,
+    scenario_dials,
+    scenario_seed,
+    scenario_source,
+    stratified_sample,
+)
+
+
+def test_catalog_enumerates_over_1000_unique_named_scenarios():
+    names = catalog_names()
+    assert len(names) >= 1000
+    assert len(set(names)) == len(names)
+    assert all(is_catalog_name(name) for name in names)
+
+
+def test_every_name_round_trips_through_dials():
+    for name in catalog_names()[:100]:
+        dials = scenario_dials(name)
+        assert CATALOG_PREFIX + dials.code() == name
+    # and the full space is the factorial product of the dial axes
+    expected = 1
+    for _, levels in Dials.axes():
+        expected *= len(levels)
+    assert len(catalog_names()) == expected
+
+
+def test_scenario_seeds_are_deterministic_and_distinct():
+    sample = stratified_sample(64, token="seed-check")
+    seeds = [scenario_seed(name) for name in sample]
+    assert seeds == [scenario_seed(name) for name in sample]
+    assert len(set(seeds)) == len(seeds)
+
+
+def test_bad_names_are_rejected():
+    with pytest.raises(ConfigurationError):
+        scenario_dials("gzip")
+    with pytest.raises(ConfigurationError):
+        scenario_dials("synth/L9H0C0I0P0S0V0")
+    with pytest.raises(ConfigurationError):
+        scenario_dials("synth/bogus")
+
+
+def test_stratified_sample_is_deterministic_and_stratified():
+    first = stratified_sample(48, token="abc")
+    second = stratified_sample(48, token="abc")
+    assert first == second
+    rotated = stratified_sample(48, token="def")
+    assert rotated != first
+    # round-robin across (loop_depth, hammocks, dispatch) strata: a
+    # 48-scenario sample must span all 48 strata exactly once
+    strata = {
+        (d.loop_depth, d.hammocks, d.dispatch_level)
+        for d in map(scenario_dials, first)
+    }
+    assert len(strata) == 48
+
+
+def test_default_rotation_token_derives_from_catalog_not_wall_clock():
+    assert stratified_sample(10) == stratified_sample(10)
+    assert len(catalog_digest()) == 64
+
+
+def test_suite_resolves_catalog_names():
+    name = stratified_sample(1, token="suite")[0]
+    source = workload_source(name, 0.5)
+    assert source == scenario_source(name, 0.5)
+    prepared = prepare_workload(name, 0.5)
+    assert prepared.dynamic_instructions > 0
+    assert len(prepared.cfgs) >= 1
+
+
+def test_unknown_workload_error_mentions_synth():
+    with pytest.raises(ConfigurationError, match="synth/"):
+        workload_source("no-such-workload")

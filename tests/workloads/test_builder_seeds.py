@@ -1,0 +1,57 @@
+"""Per-workload seed derivation and bit-reproducibility."""
+
+import hashlib
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    WORKLOAD_NAMES,
+    AsmBuilder,
+    derive_seed,
+    seed_ledger,
+    workload_source,
+)
+
+
+def test_default_seed_is_derived_from_the_name():
+    a = AsmBuilder("seed-test/a")
+    b = AsmBuilder("seed-test/b")
+    assert a.seed == derive_seed("seed-test/a")
+    assert a.seed != b.seed
+    # same name, same seed, same RNG stream
+    again = AsmBuilder("seed-test/a")
+    assert again.seed == a.seed
+    assert again.random.random() == AsmBuilder("seed-test/a").random.random()
+
+
+def test_derive_seed_folds_extra_components():
+    assert derive_seed("x") != derive_seed("x", "v1")
+    assert derive_seed("x", "v1") == derive_seed("x", "v1")
+    assert derive_seed("x", "v1") != derive_seed("x", "v2")
+
+
+def test_cross_workload_seed_reuse_is_rejected():
+    AsmBuilder("seed-test/owner", seed=0xDEADBEEF)
+    with pytest.raises(ConfigurationError, match="reuses seed"):
+        AsmBuilder("seed-test/thief", seed=0xDEADBEEF)
+    # the owner itself may rebuild freely
+    assert AsmBuilder("seed-test/owner", seed=0xDEADBEEF).seed == 0xDEADBEEF
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workload_builds_are_bit_reproducible(name):
+    """Same seed -> identical assembly text digest, build after build."""
+    first = hashlib.sha256(workload_source(name, 0.25).encode()).hexdigest()
+    second = hashlib.sha256(workload_source(name, 0.25).encode()).hexdigest()
+    assert first == second
+
+
+def test_suite_workloads_claim_distinct_seeds():
+    for name in WORKLOAD_NAMES:
+        workload_source(name, 0.25)
+    ledger = seed_ledger()
+    owners = [owner for owner in ledger.values() if owner in WORKLOAD_NAMES]
+    # every suite workload owns exactly one seed; none shares
+    assert sorted(set(owners)) == sorted(WORKLOAD_NAMES)
+    assert len(owners) == len(WORKLOAD_NAMES)
