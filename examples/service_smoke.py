@@ -1,0 +1,176 @@
+"""Multi-client smoke test of the exploration service, end to end.
+
+Spawns the real ``python -m repro.experiments serve`` subprocess on an
+ephemeral port, then drives it the way a fleet of exploration clients
+would:
+
+1. a follower thread tails ``GET /events`` for the whole run;
+2. a concurrent wave of clients submits overlapping queries (SPEC
+   workloads plus a ``synth/`` scenario, so both the pooled and the
+   inline path run);
+3. every returned cell is diffed **byte-for-byte** against an
+   in-process serial :class:`ExperimentRunner` — the service's central
+   invariant;
+4. a repeat wave must be answered entirely from the hot memo, with no
+   new simulations;
+5. ``SIGTERM`` drains the service: exit code 0, the event stream ends
+   with ``service_stopped``, and the mirrored JSONL log is intact.
+
+CI runs this against a source checkout::
+
+    PYTHONPATH=src python examples/service_smoke.py [events.jsonl]
+
+Exit status 0 means every check passed.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.experiments.runner import ExperimentRunner
+from repro.service import ServiceClient, canonical_json, encode_stats, wire
+
+SCALE = 0.1
+
+#: Overlapping client query sets: three unique cells, seven answers.
+WAVE = [
+    [("gzip", "postdoms"), ("twolf", "postdoms")],
+    [("twolf", "postdoms"), ("synth/L1H1C0I0P0S0V0", "postdoms")],
+    [("gzip", "postdoms"), ("twolf", "postdoms"), ("synth/L1H1C0I0P0S0V0", "postdoms")],
+]
+UNIQUE_CELLS = sorted({cell for cells in WAVE for cell in cells})
+
+
+def check(condition, message):
+    if not condition:
+        raise SystemExit("FAIL: {}".format(message))
+    print("ok: {}".format(message))
+
+
+def start_service(events_log):
+    command = [
+        sys.executable,
+        "-m",
+        "repro.experiments",
+        "serve",
+        "--port",
+        "0",
+        "--scale",
+        str(SCALE),
+        "--jobs",
+        "2",
+        "--window-ms",
+        "50",
+        "--cache-dir",
+        os.path.join(os.path.dirname(events_log) or ".", "service-cache"),
+        "--events-log",
+        events_log,
+    ]
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=dict(os.environ),
+    )
+    banner = process.stdout.readline()
+    endpoint = json.loads(banner)["serving"]
+    return process, endpoint
+
+
+def main():
+    events_log = sys.argv[1] if len(sys.argv) > 1 else "service-events.jsonl"
+    process, endpoint = start_service(events_log)
+    client = ServiceClient(endpoint["host"], endpoint["port"])
+    client.wait_ready(timeout=60)
+
+    # 1. Tail /events for the whole run; ends when the service drains.
+    streamed = []
+    follower = threading.Thread(
+        target=lambda: streamed.extend(client.events(follow=True, timeout=600)),
+        daemon=True,
+    )
+    follower.start()
+
+    try:
+        # 2. The concurrent wave (mixed pooled + inline cells).
+        with ThreadPoolExecutor(max_workers=len(WAVE)) as pool:
+            responses = list(
+                pool.map(lambda cells: client.query(cells, scale=SCALE), WAVE)
+            )
+
+        # 3. Byte-identity against the in-process serial runner.
+        serial = ExperimentRunner(scale=SCALE)
+        for cells, response in zip(WAVE, responses):
+            for (name, spec), result in zip(cells, response["results"]):
+                truth = canonical_json(encode_stats(serial.run_policy(name, spec)))
+                check(
+                    canonical_json(result["stats"]) == truth,
+                    "{}:{} byte-identical to serial".format(name, spec),
+                )
+
+        health = client.healthz()
+        summary = health["engine"]["summary"]
+        check(
+            summary["jobs_run"] == len(UNIQUE_CELLS),
+            "overlapping queries simulated each unique cell exactly once "
+            "({} sims for {} answers)".format(
+                summary["jobs_run"], sum(len(c) for c in WAVE)
+            ),
+        )
+        check(
+            health["engine"]["cells"]["by_source"]["error"] == 0,
+            "no cell errored",
+        )
+        check(
+            health["engine"]["incidents"]
+            == {"corrupt_cache_entries": 0, "pool_restarts": 0},
+            "no incidents recorded",
+        )
+
+        # 4. The repeat wave is answered from the hot memo.
+        repeat = client.query(UNIQUE_CELLS, scale=SCALE)
+        check(
+            all(r["source"] == wire.SOURCE_MEMO for r in repeat["results"]),
+            "repeat wave served entirely from memo",
+        )
+        check(
+            client.healthz()["engine"]["summary"]["jobs_run"]
+            == len(UNIQUE_CELLS),
+            "repeat wave ran zero new simulations",
+        )
+    except BaseException:
+        process.terminate()
+        raise
+
+    # 5. SIGTERM drains cleanly.
+    process.send_signal(signal.SIGTERM)
+    stdout, stderr = process.communicate(timeout=120)
+    check(process.returncode == 0, "SIGTERM drain exited 0")
+    check("service drained" in stderr, "drain summary printed to stderr")
+    follower.join(timeout=60)
+    check(not follower.is_alive(), "event stream ended at drain")
+    kinds = [event["kind"] for event in streamed]
+    for kind in ("query_admitted", "batch_start", "batch_done", "service_stopped"):
+        check(kind in kinds, "event stream saw {}".format(kind))
+
+    deadline = time.monotonic() + 10
+    while not os.path.exists(events_log) and time.monotonic() < deadline:
+        time.sleep(0.1)
+    with open(events_log, "r", encoding="utf-8") as handle:
+        logged = [json.loads(line) for line in handle if line.strip()]
+    check(
+        [event["kind"] for event in logged] == kinds
+        or len(logged) >= len(kinds),
+        "events JSONL mirror is intact ({} events)".format(len(logged)),
+    )
+    print("service smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,8 @@ _FIGURES = ("fig5", "fig8", "fig9", "fig10", "fig11", "fig12")
 _ABLATIONS = "ablations"
 _TRACE = "trace"
 _SYNTH = "synth"
+_SERVE = "serve"
+_QUERY = "query"
 
 
 def main(argv=None):
@@ -46,12 +48,14 @@ def main(argv=None):
     )
     parser.add_argument(
         "figure",
-        choices=_FIGURES + (_ABLATIONS, _TRACE, _SYNTH, "all"),
+        choices=_FIGURES + (_ABLATIONS, _TRACE, _SYNTH, _SERVE, _QUERY, "all"),
         help="which figure to regenerate ('ablations' runs the "
         "design-choice sweeps; 'trace' runs one fully-observed "
         "simulation, see --workload/--policy; 'synth' sweeps the "
         "synthesized scenario catalog and prints the win/loss "
-        "coverage map, see --sample/--slice)",
+        "coverage map, see --sample/--slice; 'serve' starts the "
+        "always-on exploration service, see --host/--port; 'query' "
+        "asks a running service for stats, see --cells)",
     )
     parser.add_argument(
         "--scale",
@@ -142,7 +146,72 @@ def main(argv=None):
         "against the best of the rest (default 'postdoms,"
         "loop+procFT+loopFT')",
     )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="(serve/query) service bind/connect address "
+        "(default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8790,
+        help="(serve/query) service port; 0 binds an ephemeral port "
+        "(default 8790)",
+    )
+    parser.add_argument(
+        "--window-ms",
+        type=float,
+        default=25.0,
+        help="(serve) admission window in milliseconds: concurrent "
+        "queries arriving within it coalesce into one grid "
+        "(default 25)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="(serve) admission queue bound; beyond it queries get "
+        "HTTP 429 + Retry-After (default 64)",
+    )
+    parser.add_argument(
+        "--retry-after",
+        type=float,
+        default=0.5,
+        help="(serve) Retry-After hint in seconds sent with 429 "
+        "responses (default 0.5)",
+    )
+    parser.add_argument(
+        "--events-log",
+        help="(serve) mirror the /events progress stream into this "
+        "JSONL file",
+    )
+    parser.add_argument(
+        "--cells",
+        help="(query) comma-separated workload:spec cells, e.g. "
+        "'gzip:postdoms,gzip:superscalar' (default: one cell from "
+        "--workload/--policy)",
+    )
+    parser.add_argument(
+        "--serial",
+        action="store_true",
+        help="(query) skip the service and compute the same cells with "
+        "a local serial ExperimentRunner — output is byte-identical "
+        "to the service's, so the two can be diffed",
+    )
+    parser.add_argument(
+        "--query-retries",
+        type=int,
+        default=3,
+        help="(query) retries honoured on HTTP 429 backpressure "
+        "(default 3)",
+    )
     arguments = parser.parse_args(argv)
+
+    if arguments.figure == _SERVE:
+        return _run_serve(arguments)
+    if arguments.figure == _QUERY:
+        return _run_query(arguments, parser)
 
     if arguments.figure == _TRACE:
         if not arguments.workload:
@@ -251,6 +320,128 @@ def _run_synth(arguments, runner, started):
     rows = synth_sweep.sweep(runner, names, specs)
     print(synth_sweep.coverage_map(rows, specs).render())
     _print_footer(runner, started)
+    return 0
+
+
+def _run_serve(arguments):
+    """Run the always-on exploration service until SIGTERM/SIGINT."""
+    import asyncio
+    import json
+    import signal
+
+    from repro.service import ExplorationService
+
+    async def serve():
+        service = ExplorationService(
+            host=arguments.host,
+            port=arguments.port,
+            queue_depth=arguments.queue_depth,
+            window_seconds=arguments.window_ms / 1000.0,
+            retry_after=arguments.retry_after,
+            events_log=arguments.events_log,
+            jobs=arguments.jobs,
+            cache_dir=None if arguments.no_cache else arguments.cache_dir,
+            chunk=arguments.chunk,
+            schedule=arguments.schedule,
+        )
+        await service.start()
+        # Machine-parsable endpoint line (scripts read it to learn the
+        # ephemeral port when started with --port 0).
+        print(
+            json.dumps(
+                {"serving": {"host": service.host, "port": service.port}}
+            ),
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, service.request_shutdown)
+        await service.wait_closed()
+        summary = service.engine.summary_dict()
+        print(
+            "[service drained: {} queries served, {} simulated, "
+            "{} cache hits]".format(
+                service.engine.queries_served,
+                summary.get("jobs_run", 0),
+                summary.get("cache_hits", 0),
+            ),
+            file=sys.stderr,
+        )
+
+    asyncio.run(serve())
+    return 0
+
+
+def _parse_cells(arguments, parser):
+    if arguments.cells:
+        cells = []
+        for chunk in arguments.cells.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            workload, separator, spec = chunk.partition(":")
+            if not separator or not workload or not spec:
+                parser.error(
+                    "--cells entries must look like workload:spec, "
+                    "got {!r}".format(chunk)
+                )
+            cells.append((workload, spec))
+        if cells:
+            return cells
+    if arguments.workload:
+        return [(arguments.workload, arguments.policy)]
+    parser.error("query requires --cells or --workload")
+
+
+def _run_query(arguments, parser):
+    """Query a running service (or compute serial ground truth).
+
+    Output is one canonical-JSON line per cell, identical between the
+    service path and ``--serial`` — CI diffs the two byte-for-byte.
+    """
+    from repro.service import canonical_json, encode_stats
+    from repro.spawn import canonical_spec
+
+    cells = _parse_cells(arguments, parser)
+    if arguments.serial:
+        from repro.experiments.runner import ExperimentRunner
+        from repro.polyflow import PAPER_CONFIG
+
+        runner = ExperimentRunner(scale=arguments.scale)
+        for workload, spec in cells:
+            stats = runner.run_with_config(workload, spec, PAPER_CONFIG)
+            line = canonical_json(
+                {
+                    "workload": workload,
+                    "spec": canonical_spec(spec),
+                    "stats": encode_stats(stats),
+                }
+            )
+            sys.stdout.write(line.decode("utf-8") + "\n")
+        return 0
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(host=arguments.host, port=arguments.port)
+    response = client.query(
+        cells, scale=arguments.scale, retries=arguments.query_retries
+    )
+    for result in response["results"]:
+        line = canonical_json(
+            {
+                "workload": result["workload"],
+                "spec": result["spec"],
+                "stats": result["stats"],
+            }
+        )
+        sys.stdout.write(line.decode("utf-8") + "\n")
+    print(
+        "[query: {} cells, sources {}]".format(
+            len(response["results"]),
+            dict(response["batch"]),
+        ),
+        file=sys.stderr,
+    )
     return 0
 
 

@@ -193,6 +193,9 @@ class RunSummary:
         self.pool_workers = 0
         #: Corrupt cache entries encountered (re-simulated, but surfaced).
         self.corrupt_entries = []
+        #: Warm-pool restarts after a ``BrokenProcessPool`` (each one is
+        #: an incident: a worker died and the grid was retried).
+        self.pool_restarts = 0
         #: Accumulated block-cache counter movement across every
         #: simulation this summary booked (parent and workers alike).
         self.block_cache = {key: 0 for key in BLOCK_CACHE_KEYS}
@@ -213,6 +216,10 @@ class RunSummary:
         """
         if path not in self.corrupt_entries:
             self.corrupt_entries.append(path)
+
+    def record_pool_restart(self):
+        """Note one dead-pool incident (the pool was torn down)."""
+        self.pool_restarts += 1
 
     def record_schedule(self, plan):
         """Accumulate one :class:`~repro.experiments.scheduler.GridSchedule`."""
@@ -247,6 +254,29 @@ class RunSummary:
         jobs overlap across workers)."""
         return sum(seconds for _, _, seconds in self.job_timings)
 
+    def as_dict(self):
+        """Every counter as structured fields (JSON-able).
+
+        The stderr :meth:`render` is for humans; this is the machine
+        surface the exploration service's ``/healthz`` endpoint and the
+        fault-injection tests assert on.  Incidents — corrupt cache
+        entries and pool restarts — are first-class fields here, not
+        just lines in the rendered summary.
+        """
+        return {
+            "jobs_run": self.jobs_run,
+            "cache_hits": self.cache_hits,
+            "inline_jobs": self.inline_jobs,
+            "chunks_shipped": self.chunks_shipped,
+            "pool_workers": self.pool_workers,
+            "pool_restarts": self.pool_restarts,
+            "corrupt_cache_entries": len(self.corrupt_entries),
+            "corrupt_cache_paths": list(self.corrupt_entries),
+            "block_cache": dict(self.block_cache),
+            "wall_seconds": self.wall_seconds,
+            "total_sim_seconds": self.total_sim_seconds,
+        }
+
     def slowest(self, count=5):
         """The ``count`` slowest jobs, slowest first."""
         return sorted(self.job_timings, key=lambda item: -item[2])[:count]
@@ -265,6 +295,12 @@ class RunSummary:
             lines.append(
                 "  schedule: {} inline, {} chunks across {} pool workers".format(
                     self.inline_jobs, self.chunks_shipped, self.pool_workers
+                )
+            )
+        if self.pool_restarts:
+            lines.append(
+                "  {} worker-pool restart(s) after dead workers".format(
+                    self.pool_restarts
                 )
             )
         if any(self.block_cache.values()):
@@ -327,6 +363,7 @@ class ParallelExperimentRunner(ExperimentRunner):
         schedule=scheduler.SCHEDULE_COST,
         inline_threshold=None,
         cpus=None,
+        pool_retries=1,
     ):
         keyword_arguments = {}
         if config is not None:
@@ -349,6 +386,9 @@ class ParallelExperimentRunner(ExperimentRunner):
             else inline_threshold
         )
         self.cpus = cpus
+        #: Times a grid is retried after a ``BrokenProcessPool`` (each
+        #: retry starts a fresh pool and replans only unfinished cells).
+        self.pool_retries = max(0, int(pool_retries))
         self.cache = ResultCache(cache_dir) if cache_dir else None
         #: Where persisted program analyses live; enables the shared
         #: analysis cache's disk layer in this process and in workers.
@@ -439,6 +479,18 @@ class ParallelExperimentRunner(ExperimentRunner):
         self._store_cached(name, spec, config, profile_distance, stats, metrics)
         return stats
 
+    def _job_bus(self, name, spec, config):
+        """Optional per-job :class:`~repro.obs.EventBus` for *inline*
+        simulations.
+
+        The base runner attaches nothing; the exploration service's
+        runner overrides this to bridge lifecycle events into its
+        progress journal.  A returned bus must be fresh per call and
+        non-verbose, so engine selection (and the stats) stay
+        identical.
+        """
+        return None
+
     def _simulate(self, name, spec, config, profile_distance):
         stats = self._load_cached(name, spec, config, profile_distance)
         if stats is not None:
@@ -451,6 +503,7 @@ class ParallelExperimentRunner(ExperimentRunner):
             profile_distance,
             emit_metrics=self.emit_metrics,
             trace_file=self._trace_file(name, spec, config, profile_distance),
+            bus=self._job_bus(name, spec, config),
         )
         return self._record_result(name, spec, config, profile_distance, outcome)
 
@@ -490,7 +543,39 @@ class ParallelExperimentRunner(ExperimentRunner):
         return len(pending)
 
     def _fan_out(self, pending):
-        """Schedule ``pending`` cells: inline short-circuit + warm pool.
+        """Schedule ``pending`` cells, restarting a broken worker pool.
+
+        A worker death poisons the whole persistent pool
+        (``BrokenProcessPool``); instead of failing the grid, the dead
+        pool is torn down, the incident is counted on the summary
+        (:attr:`RunSummary.pool_restarts`), and the still-unfinished
+        cells are replanned onto a fresh pool up to ``pool_retries``
+        times before the error propagates.
+        """
+        remaining = list(pending)
+        retries = self.pool_retries
+        while True:
+            try:
+                self._dispatch(remaining)
+                return
+            except BrokenProcessPool:
+                # A dead worker poisons the persistent pool; drop it so
+                # the next attempt (or the next grid) starts fresh.
+                scheduler.shutdown_pool()
+                self.summary.record_pool_restart()
+                if retries <= 0:
+                    raise
+                retries -= 1
+                remaining = [
+                    job
+                    for job in remaining
+                    if self._result_key(*job) not in self._results
+                ]
+                if not remaining:
+                    return
+
+    def _dispatch(self, pending):
+        """One scheduling attempt: inline short-circuit + warm pool.
 
         Estimating each cell's cost prepares its workload in the
         parent, which doubles as the fork-start pool's arena warm-up —
@@ -539,24 +624,21 @@ class ParallelExperimentRunner(ExperimentRunner):
                 payload,
             )
             futures[future] = chunk
-        try:
-            for future in as_completed(futures):
-                chunk = futures[future]
-                for job, (packed, metrics, seconds, blocks) in zip(
-                    chunk, future.result()
-                ):
-                    name, spec, config, profile_distance = job
-                    stats = scheduler.unpack_stats(packed)
-                    key = self._result_key(name, spec, config, profile_distance)
-                    self._results[key] = self._record_result(
-                        name,
-                        spec,
-                        config,
-                        profile_distance,
-                        (stats, metrics, seconds, blocks),
-                    )
-        except BrokenProcessPool:
-            # A dead worker poisons the persistent pool; drop it so the
-            # next grid starts from a fresh one.
-            scheduler.shutdown_pool()
-            raise
+        # A BrokenProcessPool raised by any future propagates to
+        # ``_fan_out``, which tears the pool down and retries the
+        # unfinished cells; results booked before the break are kept.
+        for future in as_completed(futures):
+            chunk = futures[future]
+            for job, (packed, metrics, seconds, blocks) in zip(
+                chunk, future.result()
+            ):
+                name, spec, config, profile_distance = job
+                stats = scheduler.unpack_stats(packed)
+                key = self._result_key(name, spec, config, profile_distance)
+                self._results[key] = self._record_result(
+                    name,
+                    spec,
+                    config,
+                    profile_distance,
+                    (stats, metrics, seconds, blocks),
+                )

@@ -344,6 +344,16 @@ def pool_starts():
     return _POOL_STARTS
 
 
+def pool_alive():
+    """Whether a warm pool currently exists (lifecycle telemetry).
+
+    The exploration service's tests use this to prove that cache-hit
+    queries never spin a pool up, and that a broken pool was actually
+    torn down before its replacement started.
+    """
+    return _POOL is not None
+
+
 def shutdown_pool():
     """Tear down the warm pool (tests; registered atexit)."""
     global _POOL, _POOL_WORKERS
@@ -360,7 +370,14 @@ atexit.register(shutdown_pool)
 
 
 def execute_job(
-    name, spec, scale, config, profile_distance, emit_metrics=False, trace_file=None
+    name,
+    spec,
+    scale,
+    config,
+    profile_distance,
+    emit_metrics=False,
+    trace_file=None,
+    bus=None,
 ):
     """Run one simulation, reporting ``(stats, metrics, seconds, blocks)``.
 
@@ -371,15 +388,19 @@ def execute_job(
     :class:`~repro.obs.MetricsAggregator` and its picklable snapshot —
     stamped with the same block-cache delta — is shipped back alongside
     the stats.  With ``trace_file`` a compact lifecycle-events JSONL
-    trace is written there.  Stats are identical either way — the bus
-    sinks only observe.
+    trace is written there.  ``bus`` attaches a caller-provided
+    :class:`~repro.obs.EventBus` (the exploration service bridges
+    lifecycle events to its progress stream through one); it must be
+    fresh per job.  Stats are identical in every mode — the bus sinks
+    only observe, and a non-verbose bus leaves engine selection
+    untouched.
     """
     from repro.experiments.runner import build_core, simulate_job
     from repro.sim.blocks import cache_counters, counters_delta
 
     started = time.perf_counter()
     counters_before = cache_counters()
-    if not emit_metrics and trace_file is None:
+    if not emit_metrics and trace_file is None and bus is None:
         stats = simulate_job(name, spec, scale, config, profile_distance)
         blocks = counters_delta(counters_before)
         return stats, None, time.perf_counter() - started, blocks
@@ -391,7 +412,8 @@ def execute_job(
         MetricsAggregator,
     )
 
-    bus = EventBus()
+    if bus is None:
+        bus = EventBus()
     aggregator = bus.attach(MetricsAggregator()) if emit_metrics else None
     writer = None
     if trace_file is not None:

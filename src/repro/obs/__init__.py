@@ -64,6 +64,12 @@ from repro.obs.events import (
     TaskSquashed,
     TaskStarted,
 )
+from repro.obs.bridge import (
+    SERVICE_EVENT_SCHEMA_VERSION,
+    CallbackSink,
+    EventJournal,
+    service_event,
+)
 from repro.obs.metrics import TOTAL_KEYS, MetricsAggregator, merge_metrics
 from repro.obs.sinks import ChromeTraceExporter, JsonlTraceWriter
 
@@ -88,4 +94,8 @@ __all__ = [
     "MetricsAggregator",
     "merge_metrics",
     "TOTAL_KEYS",
+    "SERVICE_EVENT_SCHEMA_VERSION",
+    "CallbackSink",
+    "EventJournal",
+    "service_event",
 ]

@@ -1,0 +1,153 @@
+"""Batched admission control: the queue between clients and the grid.
+
+Concurrent queries do not each pay a grid: they land in one bounded
+queue, and the single batch-executor thread drains the *entire* queue
+into one admission batch.  Two mechanisms produce the batching:
+
+* **The admission window** — when the executor is idle, the first
+  arrival opens a short window (``window_seconds``) during which
+  every further arrival joins the same batch.  This is the classic
+  inference-serving trade: a few milliseconds of added latency for the
+  first client buys grid-level dedup and cost scheduling for all of
+  them.
+
+* **Natural coalescing under load** — while a batch executes, new
+  arrivals accumulate in the queue; the next ``next_batch`` call takes
+  them all.  The busier the service, the larger (and better-amortized)
+  the batches, with no extra waiting.
+
+Backpressure is explicit: a full queue rejects immediately with
+:class:`QueueSaturated` (HTTP 429 plus a ``Retry-After`` hint) rather
+than queueing unboundedly, and a draining service rejects with
+:class:`ServiceDraining` (HTTP 503) while already-admitted queries run
+to completion.
+"""
+
+import collections
+import concurrent.futures
+import threading
+import time
+
+
+class ServiceError(Exception):
+    """Base class of service-side request failures."""
+
+
+class QueueSaturated(ServiceError):
+    """The admission queue is full; retry after ``retry_after`` seconds."""
+
+    def __init__(self, depth, retry_after):
+        super().__init__(
+            "admission queue saturated ({} queued); retry in {:.2f}s".format(
+                depth, retry_after
+            )
+        )
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+class ServiceDraining(ServiceError):
+    """The service is draining and no longer admits new queries."""
+
+    def __init__(self):
+        super().__init__("service is draining; new queries are refused")
+
+
+class QueuedQuery:
+    """One admitted query: its decoded cells, scale, and result future.
+
+    The future is a :class:`concurrent.futures.Future` so the batch
+    executor (a plain thread) can resolve it directly and the asyncio
+    server can await it via :func:`asyncio.wrap_future`.
+    """
+
+    __slots__ = ("cells", "scale", "future", "admitted_at")
+
+    def __init__(self, cells, scale):
+        self.cells = tuple(cells)
+        self.scale = scale
+        self.future = concurrent.futures.Future()
+        self.admitted_at = time.monotonic()
+
+
+class AdmissionController:
+    """Bounded admission queue with window-based batch formation."""
+
+    def __init__(self, queue_depth=64, window_seconds=0.025, retry_after=0.5):
+        self.queue_depth_limit = max(1, int(queue_depth))
+        self.window_seconds = max(0.0, float(window_seconds))
+        self.retry_after = float(retry_after)
+        self._queue = collections.deque()
+        self._cond = threading.Condition()
+        self._draining = False
+        #: Telemetry: admissions, saturation rejections, drain rejections.
+        self.admitted = 0
+        self.rejected_saturated = 0
+        self.rejected_draining = 0
+        self.batches_formed = 0
+
+    @property
+    def draining(self):
+        return self._draining
+
+    @property
+    def queue_depth(self):
+        with self._cond:
+            return len(self._queue)
+
+    def submit(self, query):
+        """Admit ``query`` or raise the matching backpressure error."""
+        with self._cond:
+            if self._draining:
+                self.rejected_draining += 1
+                raise ServiceDraining()
+            if len(self._queue) >= self.queue_depth_limit:
+                self.rejected_saturated += 1
+                raise QueueSaturated(len(self._queue), self.retry_after)
+            self._queue.append(query)
+            self.admitted += 1
+            self._cond.notify_all()
+        return query
+
+    def next_batch(self):
+        """Block for the next admission batch (``[]`` means: drained).
+
+        Waits for the first queued query, sleeps the admission window
+        so concurrent arrivals coalesce, then takes everything queued.
+        During drain, remaining queued queries are still returned (they
+        were admitted and must complete); only an empty queue ends the
+        loop.
+        """
+        with self._cond:
+            while not self._queue and not self._draining:
+                self._cond.wait()
+            if not self._queue:
+                return []
+        if self.window_seconds > 0.0:
+            time.sleep(self.window_seconds)
+        with self._cond:
+            batch = list(self._queue)
+            self._queue.clear()
+            self.batches_formed += 1
+            return batch
+
+    def drain(self):
+        """Stop admitting; wake the executor so it can finish and exit."""
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+
+    def snapshot(self):
+        """Structured admission telemetry (for ``/healthz``)."""
+        with self._cond:
+            return {
+                "queue_depth": len(self._queue),
+                "queue_depth_limit": self.queue_depth_limit,
+                "window_seconds": self.window_seconds,
+                "retry_after": self.retry_after,
+                "draining": self._draining,
+                "admitted": self.admitted,
+                "rejected_saturated": self.rejected_saturated,
+                "rejected_draining": self.rejected_draining,
+                "batches_formed": self.batches_formed,
+            }

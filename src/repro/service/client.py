@@ -1,0 +1,168 @@
+"""Stdlib client for the exploration service.
+
+:class:`ServiceClient` speaks the wire schema over
+:class:`http.client.HTTPConnection` — one connection per request, which
+matches the server's ``Connection: close`` discipline.  Backpressure is
+first-class: a saturated server raises :class:`ServiceSaturated`
+carrying the server's ``Retry-After`` hint, and :meth:`query` can
+honour it automatically (``retries``).
+"""
+
+import http.client
+import json
+import time
+
+from repro.service import wire
+
+
+class ServiceResponseError(Exception):
+    """A non-success HTTP response from the service."""
+
+    def __init__(self, status, detail):
+        super().__init__("service responded {}: {}".format(status, detail))
+        self.status = status
+        self.detail = detail
+
+
+class ServiceSaturated(ServiceResponseError):
+    """HTTP 429 — admission queue full; retry after ``retry_after``."""
+
+    def __init__(self, detail, retry_after):
+        super().__init__(429, detail)
+        self.retry_after = retry_after
+
+
+class ServiceQueryError(ServiceResponseError):
+    """A query answered 200 but one or more cells carry an error."""
+
+    def __init__(self, errors):
+        super().__init__(
+            200, "{} cell(s) failed: {}".format(len(errors), "; ".join(errors))
+        )
+        self.errors = errors
+
+
+class ServiceClient:
+    """A client bound to one service endpoint."""
+
+    def __init__(self, host="127.0.0.1", port=0, timeout=120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method, path, payload=None, timeout=None):
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = wire.canonical_json(payload)
+                headers = {"Content-Type": "application/json"}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            return response.status, dict(response.getheaders()), data
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _decode(data):
+        return json.loads(data.decode("utf-8")) if data else None
+
+    def query_raw(self, cells, scale=1.0):
+        """One ``POST /query``; returns ``(status, headers, payload)``."""
+        status, headers, data = self._request(
+            "POST", "/query", wire.encode_query(cells, scale)
+        )
+        return status, headers, self._decode(data)
+
+    def query(self, cells, scale=1.0, retries=0, allow_errors=False):
+        """Submit ``cells`` and return the decoded response.
+
+        Retries up to ``retries`` times on 429, sleeping the server's
+        ``Retry-After`` hint between attempts.  Raises
+        :class:`ServiceQueryError` when any cell failed, unless
+        ``allow_errors`` is set (degraded batches then surface per-cell
+        errors in the returned payload instead).
+        """
+        attempts = 0
+        while True:
+            status, headers, payload = self.query_raw(cells, scale)
+            if status == 429:
+                retry_after = float(
+                    headers.get("Retry-After")
+                    or (payload or {}).get("retry_after", 0.5)
+                )
+                if attempts >= retries:
+                    raise ServiceSaturated(
+                        (payload or {}).get("error", "saturated"), retry_after
+                    )
+                attempts += 1
+                time.sleep(retry_after)
+                continue
+            if status != 200:
+                raise ServiceResponseError(
+                    status, (payload or {}).get("error", "unexpected response")
+                )
+            if not allow_errors:
+                errors = [
+                    "{}/{}: {}".format(r["workload"], r["spec"], r["error"])
+                    for r in payload["results"]
+                    if r["source"] == wire.SOURCE_ERROR
+                ]
+                if errors:
+                    raise ServiceQueryError(errors)
+            return payload
+
+    def healthz(self):
+        """The decoded ``GET /healthz`` payload."""
+        status, _, data = self._request("GET", "/healthz")
+        payload = self._decode(data)
+        if status != 200:
+            raise ServiceResponseError(status, payload)
+        return payload
+
+    def wait_ready(self, timeout=30.0, interval=0.05):
+        """Poll ``/healthz`` until the service answers (or time out)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except (OSError, ServiceResponseError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval)
+
+    def shutdown(self):
+        """Ask the service to drain (``POST /shutdown``)."""
+        status, _, data = self._request("POST", "/shutdown")
+        payload = self._decode(data)
+        if status != 202:
+            raise ServiceResponseError(status, payload)
+        return payload
+
+    def events(self, follow=False, timeout=None):
+        """Iterate the ``GET /events`` JSONL stream as dicts.
+
+        With ``follow`` the iterator runs until the service drains (or
+        the read times out); without it, the currently buffered events
+        are yielded and the stream closes.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            connection.request(
+                "GET", "/events" if follow else "/events?follow=0"
+            )
+            response = connection.getresponse()
+            if response.status != 200:
+                raise ServiceResponseError(response.status, response.read())
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()

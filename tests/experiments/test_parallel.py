@@ -269,6 +269,70 @@ def test_prefetch_surfaces_block_cache_in_summary(tmp_path):
     assert block_cache["table_hits"] >= 1
 
 
+def test_run_summary_as_dict_exposes_structured_fields():
+    summary = RunSummary()
+    summary.record_job("gzip", "postdoms", 1.25)
+    summary.record_hit()
+    summary.record_pool_restart()
+    summary.record_corrupt("/cache/aa/bb.pkl")
+    summary.record_block_cache({"table_hits": 2})
+    payload = summary.as_dict()
+    assert payload["jobs_run"] == 1
+    assert payload["cache_hits"] == 1
+    assert payload["pool_restarts"] == 1
+    assert payload["corrupt_cache_entries"] == 1
+    assert payload["corrupt_cache_paths"] == ["/cache/aa/bb.pkl"]
+    assert payload["block_cache"]["table_hits"] == 2
+    # The payload is pure JSON (the service serves it from /healthz).
+    import json
+
+    assert json.loads(json.dumps(payload)) == payload
+    assert "1 worker-pool restart(s)" in summary.render()
+
+
+def test_broken_pool_is_restarted_and_grid_replanned(tmp_path):
+    from tests.faults import broken_pool
+
+    runner = ParallelExperimentRunner(
+        scale=_SCALE,
+        workload_names=_NAMES,
+        jobs=2,
+        cpus=4,
+        inline_threshold=1,
+        cache_dir=str(tmp_path / "cache"),
+    )
+    with broken_pool(fail_submits={0}) as plan:
+        ran = runner.prefetch([("gzip", "postdoms"), ("twolf", "postdoms")])
+    assert plan.broken == 1
+    assert ran == 2
+    assert runner.summary.pool_restarts == 1
+    serial = ExperimentRunner(scale=_SCALE, workload_names=_NAMES)
+    for name in _NAMES:
+        assert runner.run_policy(name, "postdoms").cycles == serial.run_policy(
+            name, "postdoms"
+        ).cycles
+
+
+def test_broken_pool_raises_after_retry_budget(tmp_path):
+    from concurrent.futures.process import BrokenProcessPool
+
+    from tests.faults import broken_pool
+
+    runner = ParallelExperimentRunner(
+        scale=_SCALE,
+        workload_names=_NAMES,
+        jobs=2,
+        cpus=4,
+        inline_threshold=1,
+        cache_dir=str(tmp_path / "cache"),
+        pool_retries=0,
+    )
+    with broken_pool(fail_submits=set(range(64))):
+        with pytest.raises(BrokenProcessPool):
+            runner.prefetch([("gzip", "postdoms"), ("twolf", "postdoms")])
+    assert runner.summary.pool_restarts == 1
+
+
 def test_result_cache_len_counts_entries(tmp_path):
     cache = ResultCache(str(tmp_path / "cache"))
     assert len(cache) == 0

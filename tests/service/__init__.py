@@ -1,0 +1,1 @@
+"""Tests for the always-on policy-exploration service."""

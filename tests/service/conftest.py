@@ -1,0 +1,96 @@
+"""Fixtures for the service tests: an in-process running server.
+
+:class:`RunningService` hosts one :class:`ExplorationService` on its own
+asyncio event loop in a daemon thread, exactly like production (asyncio
+HTTP front end, batch-executor thread, warm pool underneath) but
+startable/stoppable per test.  The ``service_factory`` fixture hands
+tests a constructor with a per-test cache directory and guarantees
+every started service drains — and the process-wide worker pool is torn
+down — at teardown, so tests cannot leak pools into each other.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.experiments import scheduler
+from repro.service import ExplorationService, ServiceClient
+from repro.workloads import clear_cache
+
+
+class RunningService:
+    """One exploration service running on a background event loop."""
+
+    def __init__(self, **kwargs):
+        self.kwargs = kwargs
+        self.service = None
+        self.loop = None
+        self._ready = threading.Event()
+        self._error = None
+        self._thread = threading.Thread(
+            target=self._run, name="service-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service did not start within 30s")
+        if self._error is not None:
+            raise self._error
+
+    def _run(self):
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # startup or drain failure
+            self._error = error
+            self._ready.set()
+
+    async def _main(self):
+        self.loop = asyncio.get_running_loop()
+        self.service = ExplorationService(**self.kwargs)
+        await self.service.start()
+        self._ready.set()
+        await self.service.wait_closed()
+
+    @property
+    def port(self):
+        return self.service.port
+
+    def client(self, **kwargs):
+        return ServiceClient(self.service.host, self.service.port, **kwargs)
+
+    def stop(self, timeout=120):
+        """Graceful drain; raises if the service never finishes."""
+        if self._thread.is_alive():
+            self.service.request_shutdown()
+            self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("service failed to drain within {}s".format(timeout))
+        return self
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_workloads():
+    clear_cache()
+
+
+@pytest.fixture()
+def service_factory(tmp_path):
+    """Start services that share one per-test cache dir; drain them all."""
+    started = []
+
+    def factory(**kwargs):
+        kwargs.setdefault("cache_dir", str(tmp_path / "service-cache"))
+        running = RunningService(**kwargs)
+        started.append(running)
+        return running
+
+    yield factory
+    errors = []
+    for running in started:
+        try:
+            running.stop()
+        except Exception as error:
+            errors.append(error)
+    scheduler.shutdown_pool()
+    if errors:
+        raise errors[0]

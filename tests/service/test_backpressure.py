@@ -1,0 +1,211 @@
+"""Backpressure and drain semantics: admission unit tests plus the
+server-level saturation / graceful-shutdown behaviour.
+
+The server-level tests inject a stallable engine so queue states are
+reached deterministically: the executor can be held mid-batch while
+the tests fill the admission queue behind it.
+"""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service.admission import (
+    AdmissionController,
+    QueuedQuery,
+    QueueSaturated,
+    ServiceDraining,
+)
+from repro.service.client import ServiceResponseError, ServiceSaturated
+
+# -- admission controller units ---------------------------------------------------
+
+
+def _query(cells=(("gzip", "postdoms"),), scale=0.1):
+    return QueuedQuery(cells, scale)
+
+
+def test_submit_raises_when_saturated():
+    controller = AdmissionController(queue_depth=2, retry_after=1.5)
+    controller.submit(_query())
+    controller.submit(_query())
+    with pytest.raises(QueueSaturated) as excinfo:
+        controller.submit(_query())
+    assert excinfo.value.retry_after == 1.5
+    assert excinfo.value.depth == 2
+    snapshot = controller.snapshot()
+    assert snapshot["admitted"] == 2
+    assert snapshot["rejected_saturated"] == 1
+
+
+def test_submit_raises_while_draining():
+    controller = AdmissionController(queue_depth=2)
+    controller.drain()
+    with pytest.raises(ServiceDraining):
+        controller.submit(_query())
+    assert controller.snapshot()["rejected_draining"] == 1
+
+
+def test_window_coalesces_concurrent_arrivals():
+    controller = AdmissionController(queue_depth=8, window_seconds=0.1)
+    controller.submit(_query())
+
+    def late_arrival():
+        time.sleep(0.02)
+        controller.submit(_query())
+
+    thread = threading.Thread(target=late_arrival)
+    thread.start()
+    batch = controller.next_batch()
+    thread.join()
+    # The arrival during the admission window joined the same batch.
+    assert len(batch) == 2
+    assert controller.snapshot()["batches_formed"] == 1
+
+
+def test_drain_flushes_admitted_queries_then_ends():
+    controller = AdmissionController(queue_depth=4, window_seconds=0.0)
+    admitted = controller.submit(_query())
+    controller.drain()
+    # Admitted work still comes out; only an empty queue ends the loop.
+    assert controller.next_batch() == [admitted]
+    assert controller.next_batch() == []
+
+
+def test_next_batch_wakes_on_drain():
+    controller = AdmissionController(queue_depth=4)
+    result = {}
+
+    def executor():
+        result["batch"] = controller.next_batch()
+
+    thread = threading.Thread(target=executor)
+    thread.start()
+    time.sleep(0.05)  # executor is blocked waiting for work
+    controller.drain()
+    thread.join(timeout=5)
+    assert not thread.is_alive()
+    assert result["batch"] == []
+
+
+# -- server-level backpressure ----------------------------------------------------
+
+
+class StallEngine:
+    """An engine whose batches block until the test opens the gate."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.started = threading.Event()
+        self.batches = []
+
+    def execute_batch(self, batch):
+        self.started.set()
+        assert self.gate.wait(timeout=30), "test never opened the gate"
+        self.batches.append(len(batch))
+        for query in batch:
+            query.future.set_result(
+                {"stalled": True, "cells": len(query.cells)}
+            )
+
+    def snapshot(self):
+        return {"stall_engine": True, "batches": list(self.batches)}
+
+
+def _poll(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() >= deadline:
+            raise AssertionError("condition not reached within {}s".format(timeout))
+        time.sleep(interval)
+
+
+_CELLS = [{"workload": "gzip", "spec": "postdoms"}]
+
+
+def test_saturated_queue_answers_429_with_retry_after(service_factory):
+    engine = StallEngine()
+    running = service_factory(
+        engine=engine, queue_depth=1, window_seconds=0.0, retry_after=0.25
+    )
+    client = running.client()
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        in_flight = pool.submit(client.query_raw, _CELLS, 0.1)
+        assert engine.started.wait(timeout=10)  # batch 1 is executing
+
+        queued = pool.submit(client.query_raw, _CELLS, 0.1)
+        _poll(lambda: client.healthz()["admission"]["queue_depth"] == 1)
+
+        # Third query: queue full -> immediate 429 + Retry-After hint.
+        status, headers, payload = client.query_raw(_CELLS, 0.1)
+        assert status == 429
+        retry_after = {k.lower(): v for k, v in headers.items()}["retry-after"]
+        assert float(retry_after) == 0.25
+        assert payload["retry_after"] == 0.25
+        with pytest.raises(ServiceSaturated) as excinfo:
+            client.query(_CELLS, scale=0.1)
+        assert excinfo.value.retry_after == 0.25
+
+        engine.gate.set()
+        assert in_flight.result(timeout=30)[0] == 200
+        assert queued.result(timeout=30)[0] == 200
+    assert client.healthz()["admission"]["rejected_saturated"] == 2
+
+
+def test_drain_completes_in_flight_work_and_refuses_new(service_factory):
+    engine = StallEngine()
+    running = service_factory(engine=engine, queue_depth=4, window_seconds=0.0)
+    client = running.client()
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        in_flight = pool.submit(client.query_raw, _CELLS, 0.1)
+        assert engine.started.wait(timeout=10)
+
+        assert client.shutdown() == {"status": "draining"}
+        _poll(lambda: client.healthz()["status"] == "draining")
+
+        # New work is refused 503 while the admitted query still runs.
+        status, _, payload = client.query_raw(_CELLS, 0.1)
+        assert status == 503
+        with pytest.raises(ServiceResponseError) as excinfo:
+            client.query(_CELLS, scale=0.1)
+        assert excinfo.value.status == 503
+
+        # Opening the gate lets the in-flight batch finish cleanly ...
+        engine.gate.set()
+        status, _, response = in_flight.result(timeout=30)
+        assert status == 200
+        assert response == {"stalled": True, "cells": 1}
+
+    # ... after which the service closes its listener entirely.
+    running.stop()
+    with pytest.raises(OSError):
+        client.query_raw(_CELLS, 0.1)
+
+
+def test_client_retries_429_until_admitted(service_factory):
+    engine = StallEngine()
+    running = service_factory(
+        engine=engine, queue_depth=1, window_seconds=0.0, retry_after=0.05
+    )
+    client = running.client()
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        in_flight = pool.submit(client.query_raw, _CELLS, 0.1)
+        assert engine.started.wait(timeout=10)
+        queued = pool.submit(client.query_raw, _CELLS, 0.1)
+        _poll(lambda: client.healthz()["admission"]["queue_depth"] == 1)
+
+        # The retrying client keeps hitting 429 until the gate opens,
+        # then its retry is admitted and answered.
+        opener = threading.Timer(0.2, engine.gate.set)
+        opener.start()
+        try:
+            response = client.query(
+                _CELLS, scale=0.1, retries=100, allow_errors=True
+            )
+        finally:
+            opener.cancel()
+        assert response["stalled"] is True
+        assert in_flight.result(timeout=30)[0] == 200
+        assert queued.result(timeout=30)[0] == 200
