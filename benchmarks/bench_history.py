@@ -50,6 +50,12 @@ def history_entry(report, sha=None):
             entry[channel] = report[channel]["aggregate_ips"] / index
     if "efficiency" in report:
         entry["efficiency"] = report["efficiency"]["ratio"]
+    if "gridbatch" in report:
+        # The lockstep/per-cell speedup is a same-process ratio, so it
+        # needs no machine-index normalization.
+        entry["gridbatch"] = report["gridbatch"]["speedup"]
+    if "estimator" in report:
+        entry["estimator_mae"] = report["estimator"]["mean_mae"]
     return entry
 
 
@@ -88,8 +94,10 @@ def render_markdown(entries, last=20):
             len(window), len(entries)
         ),
         "",
-        "| run | sha | " + " | ".join(CHANNELS) + " | efficiency |",
-        "|---:|---|" + "---:|" * (len(CHANNELS) + 1),
+        "| run | sha | "
+        + " | ".join(CHANNELS)
+        + " | efficiency | gridbatch | est. MAE |",
+        "|---:|---|" + "---:|" * (len(CHANNELS) + 3),
     ]
     first_run = len(entries) - len(window) + 1
     for offset, entry in enumerate(window):
@@ -99,6 +107,10 @@ def render_markdown(entries, last=20):
             cells.append("{:.6f}".format(value) if value is not None else "—")
         ratio = entry.get("efficiency")
         cells.append("{:.2f}x".format(ratio) if ratio is not None else "—")
+        grid = entry.get("gridbatch")
+        cells.append("{:.2f}x".format(grid) if grid is not None else "—")
+        mae = entry.get("estimator_mae")
+        cells.append("{:.1f}".format(mae) if mae is not None else "—")
         lines.append(
             "| {} | {} | {} |".format(
                 first_run + offset, entry.get("sha") or "—", " | ".join(cells)

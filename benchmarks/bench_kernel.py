@@ -23,17 +23,43 @@ The gates run under ``--check``:
   jobs4/cache-hit throughput must not trail the reference by more than
   ``--tolerance``;
 * the **block-engine gate** — the ``blocks`` channel's per-workload
-  speedup over the serial (engine-off) channel must not fall below
-  ``--blocks-floor``.  The gate floor is set to what the cycle-exact
-  kernel actually achieves (see ``DEFAULT_BLOCKS_FLOOR``), not the
-  ISSUE's aspirational 2x: block-at-a-time batching removes scheduler
-  bookkeeping but every instruction still retires through the exact
-  per-cycle model, so measured speedups are ~1.0-1.25x per workload;
+  speedup over the serial (engine-off) channel must not fall below its
+  *per-workload* floor (see ``DEFAULT_BLOCKS_FLOORS``).  The floors
+  are set to what the cycle-exact kernel actually achieves per
+  workload, not the ISSUE's aspirational 2x or a one-size 0.85:
+  block-at-a-time batching removes scheduler bookkeeping but every
+  instruction still retires through the exact per-cycle model, and how
+  much bookkeeping there is to remove varies by workload — mcf's
+  pointer-chasing spends its cycles in the memory hierarchy, which the
+  block path cannot elide, so its honest floor sits below gzip's and
+  far below vortex's (see EXPERIMENTS.md);
 * the **event-kernel gate** — same shape for the ``event_kernel``
-  channel against ``--event-kernel-floor`` (see
-  ``DEFAULT_EVENT_KERNEL_FLOOR`` for why the floor is below the
-  ISSUE's 2x target: >85% of simulated cycles have a calendar event
-  due, so there is little idle time for the calendar to skip);
+  channel against ``DEFAULT_EVENT_KERNEL_FLOORS`` (per-workload floors
+  below the ISSUE's 2x target: >85% of simulated cycles have a
+  calendar event due, so there is little idle time for the calendar to
+  skip, and on some machines the calendar's heap overhead makes the
+  channel a small net loss on gzip/mcf);
+* the **grid-batch gate** — ``gridbatch.run_batch`` must produce
+  byte-identical stats to the per-cell path on a 50-cell synth grid,
+  and its cells/sec must stay within ``DEFAULT_GRIDBATCH_FLOOR`` of
+  per-cell dispatch.  The floor is honest, not the ISSUE's
+  aspirational 2x: ~80% of in-process per-cell wall time is the
+  simulation kernel itself (``event_kernel_steps``), and the synth
+  catalog's traces are so short (~1k instructions) that the warm-up
+  replay batching amortizes is itself only ~0.1ms/cell — lockstep
+  measures parity (0.83-0.97x, machine noise) on this grid.  The
+  batch wins land elsewhere: warm-state sharing on long traces (the
+  gzip/mcf/vortex grid measures ~1.05x in-process, and mcf's ~14ms
+  replay is paid once per spec column instead of once per cell) and
+  the scheduler's chunk path, where one lockstep call replaces a
+  pickle round-trip per cell.  The gate's teeth are byte-identity
+  plus a no-pessimization floor (see EXPERIMENTS.md);
+* the **estimator gate** — the analytic estimator's mean
+  absolute speedup error over a fixed stratified sample must stay
+  under ``DEFAULT_ESTIMATOR_MAE_CEILING`` points, the estimate-first
+  triage must stay within its simulation budget, and every stratum
+  verdict it *certifies* must agree with the full exact sweep's
+  verdict (the certificate guarantee, checked empirically here);
 * the **parallel-efficiency gate** — on a multi-core machine the
   ``--jobs 4`` wall clock must beat the serial wall clock by at least
   ``--efficiency-floor`` (default 1.2×).  On a single-core machine the
@@ -71,7 +97,13 @@ import time
 #: per-workload and aggregate speedups over serial; the ``serial`` and
 #: ``blocks`` channels pin ``event_kernel=False`` so they keep
 #: measuring the cycle-exact engines whatever the process default is.
-SCHEMA = 4
+#: v5: reports carry a ``gridbatch`` section (lockstep batch runner
+#: cells/sec vs per-cell dispatch on a stratified synth grid, with a
+#: stats byte-identity check) and an ``estimator`` section (analytic
+#: estimator error plus estimate-first triage budget/certificate
+#: telemetry); the blocks/event-kernel gates moved from one generic
+#: floor to honest per-workload floors.
+SCHEMA = 5
 
 #: The benchmark trio (chosen in the ISSUE: one branchy compressor, one
 #: pointer-chasing workload with violation squashes, one call-heavy OO
@@ -91,31 +123,67 @@ DEFAULT_EFFICIENCY_FLOOR = 1.2
 #: On a single core the pool is short-circuited; jobs4 overhead over
 #: the serial kernel must stay within this factor.
 SINGLE_CORE_EFFICIENCY_FLOOR = 0.8
-#: Per-workload floor for the blocks/serial speedup.  Measured on the
-#: reference machine (best-of-5, scale 0.5): gzip ~1.06x, mcf ~0.98x
-#: (pointer-chasing keeps it per-cycle-bound), vortex ~1.24x.  The
-#: floor admits measurement noise below the worst measured workload;
-#: it exists to catch the block path *losing* to per-instruction, not
-#: to certify a speedup the cycle-exact kernel cannot reach (the
-#: ISSUE's 2x target assumed scheduler bookkeeping dominated; it does
-#: not — see EXPERIMENTS.md).  Env ``BENCH_BLOCKS_FLOOR`` overrides.
-DEFAULT_BLOCKS_FLOOR = 0.85
-#: Per-workload floor for the event-kernel/serial speedup.  Measured
-#: on the reference machine (best-of-9, scale 0.5): gzip ~1.15x, mcf
-#: ~1.00x, vortex ~1.22x.  The calendar's headline 2x target assumed
-#: skippable idle cycles; instrumentation shows the paper trio has a
-#: calendar event due on >85% of cycles (gzip: 7300 of 7324), so the
-#: kernel's wins come from batched plain-run issue and leaner queue
-#: rescans, not time skips — see EXPERIMENTS.md.  As with the blocks
-#: gate, the floor is set to catch the event kernel *losing* to the
-#: cycle-exact serial path, below the worst measured workload (mcf has
-#: read as low as 0.90x on a noisy single run) with the same noise
-#: headroom as the blocks floor.  Env ``BENCH_EVENT_KERNEL_FLOOR``
-#: overrides.
-DEFAULT_EVENT_KERNEL_FLOOR = 0.85
+#: Per-workload floors for the blocks/serial speedup.  Measured across
+#: two machines (best-of-9, scale 0.5): gzip 1.06-1.07x, mcf
+#: 0.88-1.01x (pointer-chasing keeps it per-cycle-bound: the cycles go
+#: to memory-hierarchy latency lookups and squash replay, which
+#: block-at-a-time batching cannot elide), vortex 1.13-1.24x.  Each
+#: floor sits ~0.08 of noise headroom below that workload's worst
+#: measurement; the gate exists to catch the block path *losing* to
+#: per-instruction, not to certify a speedup the cycle-exact kernel
+#: cannot reach (the ISSUE's 2x target assumed scheduler bookkeeping
+#: dominated; it does not — see EXPERIMENTS.md).  Env
+#: ``BENCH_BLOCKS_FLOOR`` overrides all three with one uniform floor.
+DEFAULT_BLOCKS_FLOORS = {"gzip": 0.95, "mcf": 0.80, "vortex": 1.00}
+#: Per-workload floors for the event-kernel/serial speedup.  Measured
+#: across two machines (best-of-9, scale 0.5): gzip 0.90-1.15x, mcf
+#: 0.90-0.99x, vortex 0.97-1.22x.  The calendar's headline 2x target
+#: assumed skippable idle cycles; instrumentation shows the paper trio
+#: has a calendar event due on >85% of cycles (gzip: 7300 of 7324), so
+#: the kernel's wins come from batched plain-run issue and leaner
+#: queue rescans, not time skips — and on machines where heap
+#: operations are comparatively expensive the channel is a small net
+#: loss on gzip/mcf (see EXPERIMENTS.md).  Same ~0.08 noise headroom
+#: below each workload's worst measurement.  Env
+#: ``BENCH_EVENT_KERNEL_FLOOR`` overrides with one uniform floor.
+DEFAULT_EVENT_KERNEL_FLOORS = {"gzip": 0.82, "mcf": 0.82, "vortex": 0.88}
+
+#: Grid-batch channel: the measured grid is the shape real sweeps
+#: produce — each sampled scenario crossed with the sweep's spec
+#: column (champion, challenger, superscalar baseline), so warm-cache
+#: sharing across same-trace cells is exercised exactly as the
+#: scheduler exercises it.  17 scenarios x 3 specs = 51 cells.
+GRIDBATCH_NAMES = 17
+GRIDBATCH_SPECS = ("postdoms", "loop+procFT+loopFT", "superscalar")
+GRIDBATCH_TOKEN = "bench-gridbatch-v1"
+#: Floor for run_batch cells/sec over per-cell dispatch.  Honest, not
+#: the ISSUE's 2x: profiling shows ~80% of per-cell wall time is the
+#: simulation kernel itself (``event_kernel_steps``), and the synth
+#: catalog's ~1k-instruction traces leave only ~0.1ms/cell of warm-up
+#: for batching to amortize, so lockstep measures parity on this grid
+#: (0.83-0.97x across runs, machine noise).  This floor is a
+#: no-pessimization gate; the byte-identity check above it is the
+#: channel's real claim.  Env ``BENCH_GRIDBATCH_FLOOR`` overrides.
+DEFAULT_GRIDBATCH_FLOOR = 0.75
+
+#: Estimator channel: sampled cells, rotation token, and the error
+#: ceiling.  The 96-cell stratified sample measures ~25 points of mean
+#: absolute speedup error (the full catalog measures 27.9/23.1 points
+#: for postdoms/loop-combo); the ceiling leaves headroom for sample
+#: rotation, not for model regressions.  Env
+#: ``BENCH_ESTIMATOR_MAE_CEILING`` overrides.
+ESTIMATOR_CELLS = 96
+ESTIMATOR_TOKEN = "bench-estimator-v1"
+DEFAULT_ESTIMATOR_MAE_CEILING = 35.0
 
 #: Iterations of the calibration loop.
 _CALIBRATION_N = 2_000_000
+
+
+def _env_float(variable):
+    """``float(os.environ[variable])`` or ``None`` when unset/empty."""
+    value = os.environ.get(variable)
+    return float(value) if value else None
 
 
 def machine_index(repeats=3):
@@ -318,6 +386,153 @@ def measure_cache_hits(scale, repeats):
     }
 
 
+def measure_gridbatch(scale, repeats=3, names=GRIDBATCH_NAMES):
+    """The ``gridbatch`` channel: lockstep batch vs per-cell dispatch.
+
+    Runs the same stratified synth grid (scenarios crossed with the
+    sweep's spec column) through the per-cell
+    ``scheduler.execute_job`` loop and through
+    ``gridbatch.run_batch``, best-of-``repeats`` each, and verifies
+    the two paths' stats are identical cell for cell.  One untimed
+    per-cell pass warms traces, analyses, and block tables first, so
+    the timed region compares steady-state dispatch — the state a
+    figure-generation sweep runs in.
+    """
+    from repro.experiments import scheduler
+    from repro.polyflow import PAPER_CONFIG
+    from repro.sim import gridbatch
+    from repro.spawn import canonical_spec
+    from repro.workloads.synth import stratified_sample
+
+    jobs = [
+        (name, canonical_spec(spec), PAPER_CONFIG, None)
+        for name in stratified_sample(names, GRIDBATCH_TOKEN)
+        for spec in GRIDBATCH_SPECS
+    ]
+
+    def run_percell():
+        return [
+            scheduler.execute_job(name, spec, scale, config, distance)[0]
+            for name, spec, config, distance in jobs
+        ]
+
+    def run_batched():
+        return [outcome[0] for outcome in gridbatch.run_batch(jobs, scale)]
+
+    run_percell()  # untimed warm-up
+    per_seconds = batch_seconds = float("inf")
+    per_stats = batch_stats = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        per_stats = run_percell()
+        per_seconds = min(per_seconds, time.perf_counter() - started)
+        started = time.perf_counter()
+        batch_stats = run_batched()
+        batch_seconds = min(batch_seconds, time.perf_counter() - started)
+    identical = all(
+        a.as_dict() == b.as_dict() for a, b in zip(per_stats, batch_stats)
+    )
+    return {
+        "cells": len(jobs),
+        "policy": POLICY,
+        "token": GRIDBATCH_TOKEN,
+        "per_cell": {
+            "seconds": per_seconds,
+            "cells_per_second": len(jobs) / per_seconds,
+        },
+        "batch": {
+            "seconds": batch_seconds,
+            "cells_per_second": len(jobs) / batch_seconds,
+        },
+        "speedup": per_seconds / batch_seconds,
+        "stats_identical": identical,
+    }
+
+
+def measure_estimator(scale, cells=ESTIMATOR_CELLS):
+    """The ``estimator`` channel: analytic error + triage telemetry.
+
+    Sweeps a fixed stratified synth sample exactly, then scores the
+    analytic estimator against it — per-spec mean absolute speedup
+    error and champion-vs-challenger delta error — and runs the
+    estimate-first triage over the same sample (its simulations replay
+    from the runner's memo, so the triage itself costs nothing extra).
+    Every stratum verdict the triage *certifies* is compared against
+    the full exact sweep's verdict; any disagreement is a certificate
+    bug and fails the gate.
+    """
+    from repro.analysis.estimate import estimate_row, mean_absolute_error
+    from repro.experiments import synth_sweep
+    from repro.experiments.parallel import ParallelExperimentRunner
+    from repro.workloads.synth import stratified_sample, stratum_key
+
+    names = stratified_sample(cells, ESTIMATOR_TOKEN)
+    specs = synth_sweep.DEFAULT_SPECS
+    runner = ParallelExperimentRunner(scale=scale, jobs=1)
+    exact_rows = {
+        row.name: row for row in synth_sweep.sweep(runner, names, specs)
+    }
+
+    mae = {}
+    delta_pairs = []
+    predictions = {}
+    for name in names:
+        predictions[name] = {
+            spec: estimate.predicted_speedup
+            for spec, estimate in estimate_row(
+                name, specs, scale, runner.config
+            ).items()
+        }
+    for spec in specs:
+        mae[spec] = mean_absolute_error(
+            (predictions[name][spec], exact_rows[name].speedups[spec])
+            for name in names
+        )
+    for name in names:
+        predicted_delta = predictions[name][specs[0]] - max(
+            predictions[name][spec] for spec in specs[1:]
+        )
+        delta_pairs.append((predicted_delta, exact_rows[name].delta(specs)))
+
+    report = synth_sweep.estimate_first_sweep(runner, names, specs)
+    full_counts = {}
+    for row in exact_rows.values():
+        counts = full_counts.setdefault(
+            stratum_key(row.name),
+            {outcome: 0 for outcome in synth_sweep.OUTCOMES},
+        )
+        counts[row.outcome(specs)] += 1
+    confirmed = [
+        verdict
+        for verdict in report.strata.values()
+        if verdict.status == synth_sweep.CONFIRMED
+    ]
+    agreements = sum(
+        1
+        for verdict in confirmed
+        if synth_sweep._dominant(full_counts[verdict.key]) == verdict.verdict
+    )
+    return {
+        "cells": len(names),
+        "specs": list(specs),
+        "token": ESTIMATOR_TOKEN,
+        "mae": mae,
+        "mean_mae": sum(mae.values()) / len(mae),
+        "delta_mae": mean_absolute_error(delta_pairs),
+        "triage": {
+            "simulated_cells": report.simulated_cells,
+            "estimated_cells": report.estimated_cells,
+            "budget_cells": report.budget_cells,
+            "simulated_fraction": report.simulated_cells / len(names),
+            "strata": len(report.strata),
+            "confirmed_strata": len(confirmed),
+            "confirmed_agreement": (
+                agreements / len(confirmed) if confirmed else 1.0
+            ),
+        },
+    }
+
+
 def run_benchmark(
     scale, repeats, jobs, jobs_repeats=3, skip_jobs=False, skip_cache=False
 ):
@@ -338,6 +553,8 @@ def run_benchmark(
     report["event_kernel"] = measure_event_kernel(
         scale, repeats, report["serial"]
     )
+    report["gridbatch"] = measure_gridbatch(scale)
+    report["estimator"] = measure_estimator(scale)
     if not skip_jobs:
         report["jobs4"] = measure_jobs(scale, jobs, jobs_repeats)
         report["efficiency"] = {
@@ -382,6 +599,12 @@ def speedup_vs_baseline(report, baseline):
             / baseline["cache_hit"]["loads_per_second"]
             / ratio
         )
+    if "gridbatch" in report and "gridbatch" in baseline:
+        speedups["gridbatch"] = (
+            report["gridbatch"]["batch"]["cells_per_second"]
+            / baseline["gridbatch"]["batch"]["cells_per_second"]
+            / ratio
+        )
     return speedups
 
 
@@ -394,7 +617,7 @@ def check_schema(report, reference, reference_path):
     """
     failures = []
     reference_schema = reference.get("schema", 0)
-    for channel in ("serial", "blocks", "event_kernel"):
+    for channel in ("serial", "blocks", "event_kernel", "gridbatch", "estimator"):
         if channel in report and channel not in reference:
             failures.append(
                 "baseline {} (schema {}) predates schema {}: it has no "
@@ -449,6 +672,14 @@ def check_regression(report, reference, tolerance):
                 reference["cache_hit"]["loads_per_second"],
             )
         )
+    if "gridbatch" in report and "gridbatch" in reference:
+        checks.append(
+            (
+                "gridbatch",
+                report["gridbatch"]["batch"]["cells_per_second"],
+                reference["gridbatch"]["batch"]["cells_per_second"],
+            )
+        )
     for label, measured, expected in checks:
         normalized = measured / ratio
         floor = expected * (1.0 - tolerance)
@@ -497,19 +728,34 @@ def check_efficiency(
     return []
 
 
-def check_channel_speedups(report, channel, floor):
+def floor_for(floors, name):
+    """The floor applying to ``name``: per-workload dict or uniform.
+
+    A workload missing from a per-workload dict (e.g. a future trio
+    change whose honest floor has not been measured yet) falls back to
+    the laxest listed floor rather than silently passing.
+    """
+    if isinstance(floors, dict):
+        return floors.get(name, min(floors.values()))
+    return floors
+
+
+def check_channel_speedups(report, channel, floors):
     """Per-workload speedup-vs-serial gate for one engine channel.
 
-    Every workload's ``channel``/serial speedup must be at least
-    ``floor``.  Both channels are measured in the same process on the
-    same machine, so the ratio needs no machine-index normalization.
-    Returns failure strings (empty = pass).
+    Every workload's ``channel``/serial speedup must be at least its
+    floor — ``floors`` is either one uniform number (the env-override
+    path) or a per-workload dict of honest measured floors.  Both
+    channels are measured in the same process on the same machine, so
+    the ratio needs no machine-index normalization.  Returns failure
+    strings (empty = pass).
     """
     measured = report.get(channel)
     if measured is None:
         return []
     failures = []
     for name, speedup in measured.get("speedup_vs_serial", {}).items():
+        floor = floor_for(floors, name)
         if speedup < floor:
             failures.append(
                 "{}: {} speedup {:.2f}x < floor {:.2f}x "
@@ -520,14 +766,71 @@ def check_channel_speedups(report, channel, floor):
     return failures
 
 
-def check_blocks(report, floor=DEFAULT_BLOCKS_FLOOR):
+def check_blocks(report, floor=None):
     """Block-engine gate (see :func:`check_channel_speedups`)."""
-    return check_channel_speedups(report, "blocks", floor)
+    floors = DEFAULT_BLOCKS_FLOORS if floor is None else floor
+    return check_channel_speedups(report, "blocks", floors)
 
 
-def check_event_kernel(report, floor=DEFAULT_EVENT_KERNEL_FLOOR):
+def check_event_kernel(report, floor=None):
     """Event-kernel gate (see :func:`check_channel_speedups`)."""
-    return check_channel_speedups(report, "event_kernel", floor)
+    floors = DEFAULT_EVENT_KERNEL_FLOORS if floor is None else floor
+    return check_channel_speedups(report, "event_kernel", floors)
+
+
+def check_gridbatch(report, floor=None):
+    """Grid-batch gate: byte-identical stats and a cells/sec floor."""
+    measured = report.get("gridbatch")
+    if measured is None:
+        return []
+    if floor is None:
+        floor = DEFAULT_GRIDBATCH_FLOOR
+    failures = []
+    if not measured.get("stats_identical", False):
+        failures.append(
+            "gridbatch: lockstep batch stats diverged from the per-cell "
+            "path (byte-identity is the runner's core invariant)"
+        )
+    if measured["speedup"] < floor:
+        failures.append(
+            "gridbatch: batch ran {:.2f}x per-cell dispatch on {} cells "
+            "(floor {:.2f}x)".format(
+                measured["speedup"], measured["cells"], floor
+            )
+        )
+    return failures
+
+
+def check_estimator(report, mae_ceiling=None):
+    """Estimator gate: error ceiling, triage budget, certificates."""
+    measured = report.get("estimator")
+    if measured is None:
+        return []
+    if mae_ceiling is None:
+        mae_ceiling = DEFAULT_ESTIMATOR_MAE_CEILING
+    failures = []
+    if measured["mean_mae"] > mae_ceiling:
+        failures.append(
+            "estimator: mean absolute speedup error {:.1f} points > "
+            "ceiling {:.1f} over {} cells".format(
+                measured["mean_mae"], mae_ceiling, measured["cells"]
+            )
+        )
+    triage = measured.get("triage", {})
+    if triage.get("simulated_cells", 0) > triage.get("budget_cells", 0):
+        failures.append(
+            "estimator: triage simulated {} cells over its budget of "
+            "{}".format(triage["simulated_cells"], triage["budget_cells"])
+        )
+    if triage.get("confirmed_agreement", 1.0) < 1.0:
+        failures.append(
+            "estimator: a certified stratum verdict disagreed with the "
+            "full exact sweep ({}% agreement) — the certificate "
+            "guarantee is broken".format(
+                round(100 * triage["confirmed_agreement"])
+            )
+        )
+    return failures
 
 
 def render(report):
@@ -603,6 +906,36 @@ def render(report):
                 cache["entries"], cache["wall_seconds"], cache["loads_per_second"]
             )
         )
+    if "gridbatch" in report:
+        grid = report["gridbatch"]
+        lines.append(
+            "  grid-batch: {} cells, {:.1f} cells/s lockstep vs {:.1f} "
+            "per-cell ({:.2f}x, stats {})".format(
+                grid["cells"],
+                grid["batch"]["cells_per_second"],
+                grid["per_cell"]["cells_per_second"],
+                grid["speedup"],
+                "identical" if grid["stats_identical"] else "DIVERGED",
+            )
+        )
+    if "estimator" in report:
+        est = report["estimator"]
+        triage = est["triage"]
+        lines.append(
+            "  estimator: {:.1f} points mean |error| over {} cells "
+            "(delta error {:.1f}); triage simulated {}/{} cells "
+            "(budget {}), certified {}/{} strata at {:.0%} agreement".format(
+                est["mean_mae"],
+                est["cells"],
+                est["delta_mae"],
+                triage["simulated_cells"],
+                est["cells"],
+                triage["budget_cells"],
+                triage["confirmed_strata"],
+                triage["strata"],
+                triage["confirmed_agreement"],
+            )
+        )
     if "speedup_vs_baseline" in report:
         lines.append(
             "  vs baseline: "
@@ -671,6 +1004,33 @@ def render_markdown_summary(report):
                 cache["loads_per_second"], cache["loads_per_second"] / index
             )
         )
+    if "gridbatch" in report:
+        grid = report["gridbatch"]
+        lines.append(
+            "| grid-batch lockstep ({:.2f}x per-cell, {} cells) "
+            "| {:.1f} cells/s | {:.6f} |".format(
+                grid["speedup"],
+                grid["cells"],
+                grid["batch"]["cells_per_second"],
+                grid["batch"]["cells_per_second"] / index,
+            )
+        )
+    if "estimator" in report:
+        est = report["estimator"]
+        lines.append(
+            "| estimator error ({} cells) | {:.1f} points | — |".format(
+                est["cells"], est["mean_mae"]
+            )
+        )
+        lines.append(
+            "| estimate-first triage | {}/{} cells simulated, "
+            "{}/{} strata certified | — |".format(
+                est["triage"]["simulated_cells"],
+                est["cells"],
+                est["triage"]["confirmed_strata"],
+                est["triage"]["strata"],
+            )
+        )
     lines.append(
         "| machine index | {:.0f} ops/s | 1 |".format(index)
     )
@@ -731,21 +1091,43 @@ def main(argv=None):
     parser.add_argument(
         "--blocks-floor",
         type=float,
-        default=float(os.environ.get("BENCH_BLOCKS_FLOOR", DEFAULT_BLOCKS_FLOOR)),
-        help="minimum per-workload blocks/serial speedup for --check "
-        "(default {}; env BENCH_BLOCKS_FLOOR overrides)".format(
-            DEFAULT_BLOCKS_FLOOR
-        ),
+        default=_env_float("BENCH_BLOCKS_FLOOR"),
+        help="uniform blocks/serial speedup floor for --check; default "
+        "is the per-workload dict {} (env BENCH_BLOCKS_FLOOR "
+        "overrides)".format(DEFAULT_BLOCKS_FLOORS),
     )
     parser.add_argument(
         "--event-kernel-floor",
         type=float,
-        default=float(
-            os.environ.get("BENCH_EVENT_KERNEL_FLOOR", DEFAULT_EVENT_KERNEL_FLOOR)
+        default=_env_float("BENCH_EVENT_KERNEL_FLOOR"),
+        help="uniform event-kernel/serial speedup floor for --check; "
+        "default is the per-workload dict {} (env "
+        "BENCH_EVENT_KERNEL_FLOOR overrides)".format(
+            DEFAULT_EVENT_KERNEL_FLOORS
         ),
-        help="minimum per-workload event-kernel/serial speedup for --check "
-        "(default {}; env BENCH_EVENT_KERNEL_FLOOR overrides)".format(
-            DEFAULT_EVENT_KERNEL_FLOOR
+    )
+    parser.add_argument(
+        "--gridbatch-floor",
+        type=float,
+        default=float(
+            os.environ.get("BENCH_GRIDBATCH_FLOOR", DEFAULT_GRIDBATCH_FLOOR)
+        ),
+        help="minimum run_batch/per-cell cells/sec speedup for --check "
+        "(default {}; env BENCH_GRIDBATCH_FLOOR overrides)".format(
+            DEFAULT_GRIDBATCH_FLOOR
+        ),
+    )
+    parser.add_argument(
+        "--estimator-mae-ceiling",
+        type=float,
+        default=float(
+            os.environ.get(
+                "BENCH_ESTIMATOR_MAE_CEILING", DEFAULT_ESTIMATOR_MAE_CEILING
+            )
+        ),
+        help="maximum mean absolute estimator speedup error for --check "
+        "(default {}; env BENCH_ESTIMATOR_MAE_CEILING overrides)".format(
+            DEFAULT_ESTIMATOR_MAE_CEILING
         ),
     )
     arguments = parser.parse_args(argv)
@@ -794,17 +1176,28 @@ def main(argv=None):
             failures.extend(
                 check_event_kernel(report, arguments.event_kernel_floor)
             )
+            failures.extend(check_gridbatch(report, arguments.gridbatch_floor))
+            failures.extend(
+                check_estimator(report, arguments.estimator_mae_ceiling)
+            )
         if failures:
             for failure in failures:
                 print("REGRESSION {}".format(failure), file=sys.stderr)
             return 1
         print(
             "gates passed (tolerance {:.0%}, efficiency floor {:.2f}x, "
-            "blocks floor {:.2f}x, event-kernel floor {:.2f}x vs {})".format(
+            "blocks floors {}, event-kernel floors {}, gridbatch floor "
+            "{:.2f}x, estimator ceiling {:.1f} vs {})".format(
                 arguments.tolerance,
                 arguments.efficiency_floor,
-                arguments.blocks_floor,
-                arguments.event_kernel_floor,
+                arguments.blocks_floor
+                if arguments.blocks_floor is not None
+                else DEFAULT_BLOCKS_FLOORS,
+                arguments.event_kernel_floor
+                if arguments.event_kernel_floor is not None
+                else DEFAULT_EVENT_KERNEL_FLOORS,
+                arguments.gridbatch_floor,
+                arguments.estimator_mae_ceiling,
                 arguments.check,
             )
         )

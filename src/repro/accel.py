@@ -1,0 +1,45 @@
+"""Optional NumPy accelerator gate.
+
+The simulator is stdlib-only by contract (see ``requirements-ci.txt``):
+nothing in :mod:`repro` may import NumPy at module scope or require it
+to produce results.  Hot paths that *can* exploit vectorized integer
+kernels ask this module for the backend instead; they get NumPy only
+when the user opted in (``REPRO_NUMPY=1`` in the environment, with the
+package available — e.g. via the ``repro[fast]`` extra) and must keep
+their NumPy branch observably identical to the stdlib branch, which in
+practice means exact integer operations only, never floating-point
+accumulation.
+"""
+
+import os
+
+#: Environment variable that opts into the accelerator.  Anything other
+#: than an empty string or "0" enables it.
+NUMPY_FLAG = "REPRO_NUMPY"
+
+_numpy_module = None
+_numpy_attempted = False
+
+
+def numpy_enabled():
+    """Whether the current environment opts into the NumPy backend."""
+    return os.environ.get(NUMPY_FLAG, "") not in ("", "0")
+
+
+def numpy_or_none():
+    """The ``numpy`` module when opted in and importable, else None.
+
+    The import is attempted at most once per process; the opt-in flag
+    is re-read on every call so tests can flip it.
+    """
+    global _numpy_module, _numpy_attempted
+    if not numpy_enabled():
+        return None
+    if not _numpy_attempted:
+        _numpy_attempted = True
+        try:
+            import numpy
+        except ImportError:
+            numpy = None
+        _numpy_module = numpy
+    return _numpy_module

@@ -188,6 +188,28 @@ class AnalysisCache:
         """
         return len(self.analyses_for(source).trace)
 
+    def peek_trace_length(self, source):
+        """Committed-trace length if already cached, else None.
+
+        Consults the memory and disk layers only — a miss returns None
+        instead of running the pipeline.  The grid scheduler's cost
+        model peeks first and falls back to the closed-form estimator
+        (:func:`repro.analysis.estimate.estimated_trace_length`) on a
+        miss, so costing a cold synthesized grid no longer prepares
+        every cell in the parent.
+        """
+        digest = source_digest(source)
+        analyses = self._memory.get(digest)
+        if analyses is not None:
+            self.hits += 1
+            return len(analyses.trace)
+        analyses = self._disk_load(digest)
+        if analyses is None:
+            return None
+        self.disk_hits += 1
+        self._memory[digest] = analyses
+        return len(analyses.trace)
+
     def clear(self):
         """Drop the in-memory layer (disk entries are left in place)."""
         self._memory.clear()
@@ -244,6 +266,11 @@ _SHARED_CACHE = AnalysisCache()
 def shared_cache():
     """The process-wide :class:`AnalysisCache`."""
     return _SHARED_CACHE
+
+
+def peek_trace_length_for_source(source):
+    """Shared-cache :meth:`AnalysisCache.peek_trace_length` shorthand."""
+    return _SHARED_CACHE.peek_trace_length(source)
 
 
 def analyses_for_source(source):

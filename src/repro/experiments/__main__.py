@@ -147,6 +147,20 @@ def main(argv=None):
         "loop+procFT+loopFT')",
     )
     parser.add_argument(
+        "--estimate-first",
+        action="store_true",
+        help="(synth) triage with the analytic estimator and simulate "
+        "only a budgeted slice of cells; unsimulated cells ride on "
+        "estimator predictions labeled source=estimated",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="(synth) with --estimate-first, the fraction of swept "
+        "catalog cells that may be simulated (default 0.40)",
+    )
+    parser.add_argument(
         "--host",
         default="127.0.0.1",
         help="(serve/query) service bind/connect address "
@@ -205,6 +219,13 @@ def main(argv=None):
         default=3,
         help="(query) retries honoured on HTTP 429 backpressure "
         "(default 3)",
+    )
+    parser.add_argument(
+        "--estimate",
+        action="store_true",
+        help="(query) answer cells with the analytic estimator instead "
+        "of simulation (source=estimated; predicted speedup with a "
+        "confidence band instead of exact stats)",
     )
     arguments = parser.parse_args(argv)
 
@@ -317,8 +338,17 @@ def _run_synth(arguments, runner, started):
         specs = tuple(
             spec.strip() for spec in arguments.specs.split(",") if spec.strip()
         )
-    rows = synth_sweep.sweep(runner, names, specs)
-    print(synth_sweep.coverage_map(rows, specs).render())
+    if arguments.estimate_first:
+        budget = arguments.budget
+        if budget is None:
+            budget = synth_sweep.DEFAULT_BUDGET_FRACTION
+        report = synth_sweep.estimate_first_sweep(
+            runner, names, specs, budget_fraction=budget
+        )
+        print(report.render())
+    else:
+        rows = synth_sweep.sweep(runner, names, specs)
+        print(synth_sweep.coverage_map(rows, specs).render())
     _print_footer(runner, started)
     return 0
 
@@ -424,16 +454,22 @@ def _run_query(arguments, parser):
 
     client = ServiceClient(host=arguments.host, port=arguments.port)
     response = client.query(
-        cells, scale=arguments.scale, retries=arguments.query_retries
+        cells,
+        scale=arguments.scale,
+        retries=arguments.query_retries,
+        estimate=arguments.estimate,
     )
     for result in response["results"]:
-        line = canonical_json(
-            {
-                "workload": result["workload"],
-                "spec": result["spec"],
-                "stats": result["stats"],
-            }
-        )
+        entry = {
+            "workload": result["workload"],
+            "spec": result["spec"],
+        }
+        if arguments.estimate:
+            entry["source"] = result["source"]
+            entry["estimate"] = result["estimate"]
+        else:
+            entry["stats"] = result["stats"]
+        line = canonical_json(entry)
         sys.stdout.write(line.decode("utf-8") + "\n")
     print(
         "[query: {} cells, sources {}]".format(

@@ -39,6 +39,7 @@ from repro.experiments import scheduler
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scheduler import execute_job
 from repro.polyflow.config import config_fingerprint
+from repro.sim import gridbatch
 from repro.sim.blocks import BLOCK_CACHE_KEYS
 from repro.spawn import canonical_spec
 
@@ -199,6 +200,12 @@ class RunSummary:
         #: Accumulated block-cache counter movement across every
         #: simulation this summary booked (parent and workers alike).
         self.block_cache = {key: 0 for key in BLOCK_CACHE_KEYS}
+        #: Cells executed through the grid-batch lockstep runner
+        #: (a subset of ``jobs_run``; the rest ran per-cell).
+        self.batched_jobs = 0
+        #: Cells answered from the analytic estimator alone — no
+        #: simulation ran, the consumer saw ``source=estimated``.
+        self.estimated_cells = 0
 
     def record_job(self, name, spec, seconds):
         self.jobs_run += 1
@@ -220,6 +227,14 @@ class RunSummary:
     def record_pool_restart(self):
         """Note one dead-pool incident (the pool was torn down)."""
         self.pool_restarts += 1
+
+    def record_batched(self, count):
+        """Note ``count`` cells that ran through the lockstep batch."""
+        self.batched_jobs += count
+
+    def record_estimated(self, count=1):
+        """Note cells served analytically (``source=estimated``)."""
+        self.estimated_cells += count
 
     def record_schedule(self, plan):
         """Accumulate one :class:`~repro.experiments.scheduler.GridSchedule`."""
@@ -273,6 +288,8 @@ class RunSummary:
             "corrupt_cache_entries": len(self.corrupt_entries),
             "corrupt_cache_paths": list(self.corrupt_entries),
             "block_cache": dict(self.block_cache),
+            "batched_jobs": self.batched_jobs,
+            "estimated_cells": self.estimated_cells,
             "wall_seconds": self.wall_seconds,
             "total_sim_seconds": self.total_sim_seconds,
         }
@@ -295,6 +312,18 @@ class RunSummary:
             lines.append(
                 "  schedule: {} inline, {} chunks across {} pool workers".format(
                     self.inline_jobs, self.chunks_shipped, self.pool_workers
+                )
+            )
+        if self.batched_jobs:
+            lines.append(
+                "  grid-batch: {} of {} simulated cells ran in lockstep".format(
+                    self.batched_jobs, self.jobs_run
+                )
+            )
+        if self.estimated_cells:
+            lines.append(
+                "  estimator: {} cells served analytically (no simulation)".format(
+                    self.estimated_cells
                 )
             )
         if self.pool_restarts:
@@ -349,6 +378,12 @@ class ParallelExperimentRunner(ExperimentRunner):
     which a cell runs inline in the parent, and ``cpus`` overrides CPU
     detection (tests force the pool path on single-core machines).
     """
+
+    #: Whether plain inline cells may run through the grid-batch
+    #: lockstep runner.  Subclasses whose ``_job_bus`` must observe
+    #: every inline simulation (the exploration service) set this
+    #: False so each cell keeps its own bus.
+    inline_batching = True
 
     def __init__(
         self,
@@ -534,10 +569,13 @@ class ParallelExperimentRunner(ExperimentRunner):
             self.summary.wall_seconds += time.perf_counter() - started
             return 0
 
-        if self.jobs == 1 or len(pending) == 1:
+        if len(pending) == 1:
             for name, spec, config, profile_distance in pending:
                 self.run_with_config(name, spec, config, profile_distance)
         else:
+            # Multi-cell grids always go through the scheduler: with
+            # ``jobs=1`` the plan is all-inline (no pool is touched)
+            # and plain cells still benefit from the lockstep batch.
             self._fan_out(pending)
         self.summary.wall_seconds += time.perf_counter() - started
         return len(pending)
@@ -577,9 +615,14 @@ class ParallelExperimentRunner(ExperimentRunner):
     def _dispatch(self, pending):
         """One scheduling attempt: inline short-circuit + warm pool.
 
-        Estimating each cell's cost prepares its workload in the
-        parent, which doubles as the fork-start pool's arena warm-up —
-        workers inherit the analyses instead of recomputing them.
+        Costing a cell peeks the analysis cache and falls back to the
+        closed-form length estimator for synthesized scenarios, so a
+        cold catalog grid is planned without preparing every cell in
+        the parent; workloads a fork-start pool needs are prepared by
+        its initializer instead.  Plain inline cells run through the
+        grid-batch lockstep runner when it is enabled (instrumented
+        cells — metrics, trace files, service buses — keep the
+        per-cell path).
         """
         costs = [scheduler.job_cost(name, self.scale) for name, _, _, _ in pending]
         plan = scheduler.plan_grid(
@@ -593,8 +636,7 @@ class ParallelExperimentRunner(ExperimentRunner):
         )
         self.summary.record_schedule(plan)
 
-        for name, spec, config, profile_distance in plan.inline:
-            self.run_with_config(name, spec, config, profile_distance)
+        self._run_inline(plan.inline)
         if not plan.chunks:
             return
 
@@ -616,6 +658,12 @@ class ParallelExperimentRunner(ExperimentRunner):
                 )
                 for name, spec, config, profile_distance in chunk
             ]
+            # Mirror the worker's batching decision for the summary:
+            # plain cells of a big-enough chunk run in lockstep there.
+            if gridbatch.gridbatch_enabled() and not self.emit_metrics:
+                plain = sum(1 for entry in payload if entry[4] is None)
+                if plain >= gridbatch.MIN_BATCH_CELLS:
+                    self.summary.record_batched(plain)
             future = pool.submit(
                 scheduler.execute_chunk,
                 self.analysis_dir,
@@ -642,3 +690,43 @@ class ParallelExperimentRunner(ExperimentRunner):
                     profile_distance,
                     (stats, metrics, seconds, blocks),
                 )
+
+    def _run_inline(self, inline_jobs):
+        """Run the plan's inline cells, batching the plain ones.
+
+        Cells with no instruments attached (no metrics, no trace file;
+        :attr:`inline_batching` vouches for ``_job_bus``) go through
+        the grid-batch lockstep runner together; the rest — and
+        everything when the batch would hold fewer than two cells —
+        keep the per-cell ``run_with_config`` path.  Results are booked
+        identically either way.
+        """
+        per_cell = list(inline_jobs)
+        batch_jobs = []
+        if (
+            self.inline_batching
+            and gridbatch.gridbatch_enabled()
+            and not self.emit_metrics
+        ):
+            plain, rest = [], []
+            for job in per_cell:
+                name, spec, config, profile_distance = job
+                trace_file = self._trace_file(name, spec, config, profile_distance)
+                key = self._result_key(name, spec, config, profile_distance)
+                if trace_file is None and key not in self._results:
+                    plain.append(job)
+                else:
+                    rest.append(job)
+            if len(plain) >= gridbatch.MIN_BATCH_CELLS:
+                batch_jobs, per_cell = plain, rest
+        if batch_jobs:
+            outcomes = gridbatch.run_batch(batch_jobs, self.scale)
+            self.summary.record_batched(len(batch_jobs))
+            for job, outcome in zip(batch_jobs, outcomes):
+                name, spec, config, profile_distance = job
+                key = self._result_key(name, spec, config, profile_distance)
+                self._results[key] = self._record_result(
+                    name, spec, config, profile_distance, outcome
+                )
+        for name, spec, config, profile_distance in per_cell:
+            self.run_with_config(name, spec, config, profile_distance)

@@ -80,12 +80,33 @@ def job_cost(name, scale):
     """Estimated cost of one grid cell: its committed-trace length.
 
     Simulation time is linear in committed instructions (the kernel
-    retires the whole trace), so the trace length the analysis cache
-    already holds is a free, accurate cost estimate.  The policy spec
-    does not enter: every policy retires the same trace.
-    """
-    from repro.workloads.suite import workload_trace_length
+    retires the whole trace), so the trace length is the cost unit.
+    The policy spec does not enter: every policy retires the same
+    trace.  Three tiers, cheapest sufficient one wins:
 
+    1. a cached exact length (preparation memo, or the analysis
+       cache's memory/disk layers) — free and exact;
+    2. the closed-form structural estimate of
+       :func:`repro.analysis.estimate.estimated_trace_length` for
+       synthesized catalog scenarios — ~20% relative error, which the
+       over-partitioned longest-first schedule absorbs, and it spares
+       a cold sweep from preparing every cell up front just to cost
+       it;
+    3. preparing the workload (named workloads on a cold cache only —
+       the handful of paper benchmarks, never the 2592-cell catalog).
+    """
+    from repro.analysis.estimate import estimated_trace_length
+    from repro.workloads.suite import (
+        peek_workload_trace_length,
+        workload_trace_length,
+    )
+
+    cached = peek_workload_trace_length(name, scale)
+    if cached is not None:
+        return cached
+    estimated = estimated_trace_length(name, scale)
+    if estimated is not None:
+        return estimated
     return workload_trace_length(name, scale)
 
 
@@ -442,13 +463,44 @@ def execute_chunk(analysis_dir, scale, emit_metrics, chunk):
     ``(packed_stats, metrics, seconds, blocks)`` outcomes.  The
     disk-cache configuration is re-asserted per chunk because the warm
     pool outlives any single runner (whose cache directory may differ).
+
+    Plain cells (no metrics, no trace file) run through the grid-batch
+    lockstep runner (:mod:`repro.sim.gridbatch`) when it is enabled
+    and at least two such cells share the chunk — warm-cache replays
+    are shared per trace and per-cell dispatch overhead is amortized.
+    Instrumented cells always run per-cell.  Outcomes are booked into
+    the same aligned slots either way, and stats are byte-identical
+    between the two paths.
     """
+    from repro.sim import gridbatch
+
     if analysis_dir is not None:
         configure_disk_cache(analysis_dir)
-    results = []
-    for name, spec, config, profile_distance, trace_file in chunk:
+    results = [None] * len(chunk)
+    batch_indices = []
+    if gridbatch.gridbatch_enabled() and not emit_metrics:
+        batch_indices = [
+            index
+            for index, (_, _, _, _, trace_file) in enumerate(chunk)
+            if gridbatch.batchable(emit_metrics, trace_file)
+        ]
+        if len(batch_indices) < gridbatch.MIN_BATCH_CELLS:
+            batch_indices = []
+    if batch_indices:
+        jobs = [
+            (chunk[index][0], chunk[index][1], chunk[index][2], chunk[index][3])
+            for index in batch_indices
+        ]
+        for index, (stats, metrics, seconds, blocks) in zip(
+            batch_indices, gridbatch.run_batch(jobs, scale)
+        ):
+            results[index] = (pack_stats(stats), metrics, seconds, blocks)
+    batched = set(batch_indices)
+    for index, (name, spec, config, profile_distance, trace_file) in enumerate(chunk):
+        if index in batched:
+            continue
         stats, metrics, seconds, blocks = execute_job(
             name, spec, scale, config, profile_distance, emit_metrics, trace_file
         )
-        results.append((pack_stats(stats), metrics, seconds, blocks))
+        results[index] = (pack_stats(stats), metrics, seconds, blocks)
     return results

@@ -1,6 +1,7 @@
 """Machine configuration (the paper's Figure 8 pipeline parameters)."""
 
 import dataclasses
+import functools
 import hashlib
 import json
 
@@ -87,6 +88,7 @@ class MachineConfig:
 PAPER_CONFIG = MachineConfig()
 
 
+@functools.lru_cache(maxsize=None)
 def config_fingerprint(config):
     """A stable hex digest of every field of a :class:`MachineConfig`.
 
@@ -95,6 +97,11 @@ def config_fingerprint(config):
     name) changes.  Used to key simulation results — both the in-memory
     memo and the on-disk cache in :mod:`repro.experiments.parallel` —
     so stale results can never be served for a different machine.
+
+    Memoized on the (frozen, hashable) config value: every grid cell
+    consults the fingerprint several times per dispatch — memo keys,
+    job digests, job labels, wire responses — and the asdict/json walk
+    dominated grid-planning profiles before the cache.
     """
     fields = dataclasses.asdict(config)
     payload = json.dumps(fields, sort_keys=True, separators=(",", ":"))

@@ -60,7 +60,11 @@ from repro.polyflow.dependences import StoreSetPredictor
 from repro.polyflow.spawn_unit import SpawnUnit
 from repro.polyflow.stats import SimStats
 from repro.polyflow.task import Task
-from repro.polyflow.event_kernel import kernel_enabled_default, run_event_kernel
+from repro.polyflow.event_kernel import (
+    event_kernel_steps,
+    kernel_enabled_default,
+    run_event_kernel,
+)
 from repro.sim.blocks import block_table_for, engine_enabled_default
 from repro.sim.predecode import (
     KIND_CALL_DIRECT,
@@ -170,8 +174,10 @@ class PolyFlowCore:
         self._mem_deps = decoded.mem_dep
         self._dep0 = decoded.dep0
         self._dep1 = decoded.dep1
-        line_address = self.hierarchy.l1i.line_address
-        self._lines = [line_address(pc) for pc in self._pcs]
+        self._lines = decoded.icache_lines(self.hierarchy.l1i.offset_bits)
+        #: Set when the warm-cache replay already ran (or its result was
+        #: installed from a shared snapshot by the grid-batch runner).
+        self._warmed = False
         # Per-trace-index dynamic state.
         self._state = bytearray(count)
         self._gen = [0] * count
@@ -227,10 +233,50 @@ class PolyFlowCore:
         tests pin that all three produce identical event streams and
         statistics.
         """
-        if not len(self.trace):
-            return self.stats
-        if self.config.warm_caches:
+        for _ in self.run_incremental(stride=0):
+            pass  # pragma: no cover - stride 0 never yields
+        return self.stats
+
+    def prewarm(self):
+        """Run the warm-cache replay now (idempotent); returns the
+        post-warm hierarchy LRU snapshot.
+
+        The grid-batch runner warms the first cell of each trace this
+        way and installs the snapshot into siblings via
+        :meth:`install_warm_state`, so the O(trace) replay runs once
+        per trace instead of once per cell.  State after ``prewarm`` is
+        byte-identical to what ``run`` would have produced on its own.
+        """
+        if self.config.warm_caches and not self._warmed:
             self._warm_caches()
+            self._warmed = True
+        return self.hierarchy.snapshot_sets()
+
+    def install_warm_state(self, snapshot):
+        """Adopt a sibling core's post-warm hierarchy state (see
+        :meth:`prewarm`); ``run`` then skips its own replay."""
+        if self.config.warm_caches and not self._warmed:
+            self.hierarchy.restore_sets(snapshot)
+            self._warmed = True
+
+    def run_incremental(self, stride=4096):
+        """Generator form of :meth:`run` for the grid-batch runner.
+
+        Advances the simulation and yields the retire pointer every
+        ``stride`` event-calendar steps, so a driver can advance many
+        independent cells in lockstep (round-robin ``next()``).  Only
+        the event-calendar kernel is resumable; runs that select the
+        staged or fused engines (or an empty trace) complete during the
+        first ``next()`` without intermediate yields.  A ``stride`` of
+        0 (or ``None``) never yields — :meth:`run` drains exactly that.
+        Statistics and event streams are identical for every stride;
+        after exhaustion ``self.stats`` is final.
+        """
+        if not len(self.trace):
+            return
+        if self.config.warm_caches and not self._warmed:
+            self._warm_caches()
+            self._warmed = True
         initial = self._new_task(0)
         self._tasks.append(initial)
         self.bus.emit(TaskStarted(0, initial.task_id, 0, self._pcs[0], None))
@@ -253,7 +299,10 @@ class PolyFlowCore:
                 # the compiled block tables.  Verbose buses (and the
                 # stage-hook/nested cases above) keep a cycle-exact
                 # engine — the same auto-fallback as the staged split.
-                run_event_kernel(self)
+                if stride and stride > 0:
+                    yield from event_kernel_steps(self, stride)
+                else:
+                    run_event_kernel(self)
             else:
                 self._run_fast()
         count = len(self.trace)
@@ -264,7 +313,6 @@ class PolyFlowCore:
             self._emit_task_commit(task, count)
         self.stats.cycles = self._cycle
         self.stats.cache_stats = self.hierarchy.statistics()
-        return self.stats
 
     def _compile_blocks(self):
         """Bind the block engine's tables for the fast loop.

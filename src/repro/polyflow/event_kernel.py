@@ -86,6 +86,24 @@ def run_event_kernel(core):
     behaviour (statistics, lifecycle event stream, cache state) is
     identical to :meth:`~repro.polyflow.core.PolyFlowCore._run_fast`.
     """
+    for _ in event_kernel_steps(core, 0):
+        pass  # pragma: no cover - stride 0 never yields
+
+
+def event_kernel_steps(core, stride):
+    """Generator driving ``core`` on the event-calendar kernel, yielding
+    the retire pointer every ``stride`` calendar steps.
+
+    This is the kernel itself — :func:`run_event_kernel` drains it with
+    a stride of 0 (never yield).  A positive stride hands control back
+    to the caller between slices with the kernel's locals frozen in the
+    generator frame, which is what lets the grid-batch runner advance
+    many independent cells in lockstep.  The yield is outside every
+    stage, at the top of the cycle loop, so slicing cannot reorder any
+    observable action; statistics and event streams are byte-identical
+    for every stride.  Closing the generator early runs the ``finally``
+    sync, leaving the core's counters coherent mid-run.
+    """
     # Imported here: core imports this module lazily, so a top-level
     # import back into core would execute during core's own import.
     from repro.polyflow.core import (
@@ -356,8 +374,15 @@ def run_event_kernel(core):
             else:
                 bucket.append(consumer)
 
+    countdown = stride if stride and stride > 0 else None
+
     try:
         while retire_ptr < count:
+            if countdown is not None:
+                countdown -= 1
+                if countdown < 0:
+                    yield retire_ptr
+                    countdown = stride - 1
             cycle += 1
             core._cycle = cycle
             if cycle > max_cycles:

@@ -61,11 +61,14 @@ class QueuedQuery:
     server can await it via :func:`asyncio.wrap_future`.
     """
 
-    __slots__ = ("cells", "scale", "future", "admitted_at")
+    __slots__ = ("cells", "scale", "estimate", "future", "admitted_at")
 
-    def __init__(self, cells, scale):
+    def __init__(self, cells, scale, estimate=False):
         self.cells = tuple(cells)
         self.scale = scale
+        #: Estimate-mode queries are answered analytically (labeled
+        #: ``source=estimated``) and never reach the simulation tiers.
+        self.estimate = estimate
         self.future = concurrent.futures.Future()
         self.admitted_at = time.monotonic()
 

@@ -71,25 +71,29 @@ class ServiceClient:
     def _decode(data):
         return json.loads(data.decode("utf-8")) if data else None
 
-    def query_raw(self, cells, scale=1.0):
+    def query_raw(self, cells, scale=1.0, estimate=False):
         """One ``POST /query``; returns ``(status, headers, payload)``."""
         status, headers, data = self._request(
-            "POST", "/query", wire.encode_query(cells, scale)
+            "POST", "/query", wire.encode_query(cells, scale, estimate=estimate)
         )
         return status, headers, self._decode(data)
 
-    def query(self, cells, scale=1.0, retries=0, allow_errors=False):
+    def query(self, cells, scale=1.0, retries=0, allow_errors=False, estimate=False):
         """Submit ``cells`` and return the decoded response.
 
         Retries up to ``retries`` times on 429, sleeping the server's
         ``Retry-After`` hint between attempts.  Raises
         :class:`ServiceQueryError` when any cell failed, unless
         ``allow_errors`` is set (degraded batches then surface per-cell
-        errors in the returned payload instead).
+        errors in the returned payload instead).  With ``estimate`` the
+        cells are answered analytically (``source=estimated``, an
+        ``estimate`` object instead of ``stats``).
         """
         attempts = 0
         while True:
-            status, headers, payload = self.query_raw(cells, scale)
+            status, headers, payload = self.query_raw(
+                cells, scale, estimate=estimate
+            )
             if status == 429:
                 retry_after = float(
                     headers.get("Retry-After")

@@ -54,6 +54,11 @@ class _ServiceRunner(ParallelExperimentRunner):
     selection — and therefore the stats — is untouched.
     """
 
+    #: Every inline simulation must own its bridging bus, so the
+    #: lockstep batch (which carries no bus) is disabled inline;
+    #: pooled chunks still batch in the workers.
+    inline_batching = False
+
     def __init__(self, *args, journal=None, sim_event_limit=0, **kwargs):
         super().__init__(*args, **kwargs)
         self._journal = journal
@@ -145,6 +150,7 @@ class ExplorationEngine:
             wire.SOURCE_MEMO: 0,
             wire.SOURCE_CACHE: 0,
             wire.SOURCE_SIMULATED: 0,
+            wire.SOURCE_ESTIMATED: 0,
             wire.SOURCE_ERROR: 0,
         }
         self.batches_degraded = 0
@@ -187,6 +193,10 @@ class ExplorationEngine:
         groups = {}
         total_cells = 0
         for query in batch:
+            if query.estimate:
+                # Estimate-mode queries never join the simulation
+                # tiers; they are answered analytically below.
+                continue
             runner = self.runner_for(query.scale)
             group = groups.setdefault(query.scale, {})
             for cell in query.cells:
@@ -218,9 +228,14 @@ class ExplorationEngine:
             if query.future.done():
                 continue
             try:
-                responses[index] = self._build_response(
-                    query, outcomes[query.scale], batch_size=len(batch)
-                )
+                if query.estimate:
+                    responses[index] = self._build_estimate_response(
+                        query, batch_size=len(batch)
+                    )
+                else:
+                    responses[index] = self._build_response(
+                        query, outcomes[query.scale], batch_size=len(batch)
+                    )
                 self.queries_served += 1
                 self.cells_served += len(query.cells)
             except Exception as error:  # pragma: no cover - defensive
@@ -382,7 +397,54 @@ class ExplorationEngine:
                 "memo_hits": counts[wire.SOURCE_MEMO],
                 "cache_hits": counts[wire.SOURCE_CACHE],
                 "simulated": counts[wire.SOURCE_SIMULATED],
+                "estimated": 0,
                 "errors": counts[wire.SOURCE_ERROR],
+            },
+        }
+
+    def _build_estimate_response(self, query, batch_size):
+        """Answer one estimate-mode query analytically (no simulation)."""
+        from repro.analysis.estimate import estimate_speedup
+        from repro.polyflow.config import config_fingerprint
+
+        runner = self.runner_for(query.scale)
+        results = []
+        estimated = errors = 0
+        for cell in query.cells:
+            entry = {
+                "workload": cell.workload,
+                "spec": cell.spec,
+                "config_fingerprint": config_fingerprint(cell.config),
+            }
+            try:
+                estimate = estimate_speedup(
+                    cell.workload, cell.spec, query.scale, cell.config
+                )
+            except Exception as error:
+                entry["source"] = wire.SOURCE_ERROR
+                entry["error"] = str(error)
+                errors += 1
+                self.cells_by_source[wire.SOURCE_ERROR] += 1
+            else:
+                entry["source"] = wire.SOURCE_ESTIMATED
+                entry["estimate"] = wire.encode_estimate(estimate)
+                estimated += 1
+                self.cells_by_source[wire.SOURCE_ESTIMATED] += 1
+            results.append(entry)
+        if estimated:
+            runner.summary.record_estimated(estimated)
+        return {
+            "schema": wire.WIRE_SCHEMA_VERSION,
+            "scale": query.scale,
+            "results": results,
+            "batch": {
+                "queries": batch_size,
+                "cells": len(query.cells),
+                "memo_hits": 0,
+                "cache_hits": 0,
+                "simulated": 0,
+                "estimated": estimated,
+                "errors": errors,
             },
         }
 

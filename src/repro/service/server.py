@@ -255,10 +255,11 @@ class ExplorationService:
             return
         try:
             cells, scale = wire.decode_query(payload)
+            estimate = wire.decode_estimate(payload)
         except wire.WireError as error:
             await self._respond(writer, 400, {"error": str(error)})
             return
-        query = QueuedQuery(cells, scale)
+        query = QueuedQuery(cells, scale, estimate=estimate)
         try:
             self.controller.submit(query)
         except QueueSaturated as error:

@@ -1,6 +1,6 @@
 """Wire schema of the exploration service: JSON in, JSON out.
 
-Schema — version 1
+Schema — version 2
 ==================
 
 A **query** submits one or more grid cells at one workload scale::
@@ -39,8 +39,26 @@ The **response** is positionally aligned with the request cells::
 ``source`` records how the cell was answered: ``memo`` (the server's
 in-memory result memo), ``cache`` (the content-addressed on-disk
 :class:`~repro.experiments.parallel.ResultCache`), ``simulated`` (a
-fresh simulation, inline or pooled), or ``error`` (the cell failed —
-an ``error`` string replaces ``stats``).
+fresh simulation, inline or pooled), ``estimated`` (the analytic
+estimator — see below), or ``error`` (the cell failed — an ``error``
+string replaces ``stats``).
+
+Version 2 adds **estimate mode**: a query carrying ``"estimate":
+true`` is answered entirely by the analytic estimator
+(:mod:`repro.analysis.estimate`) — no simulation, no caches.  Each
+result then carries an ``estimate`` object instead of ``stats``::
+
+    {"workload": "gzip", "spec": "postdoms",
+     "config_fingerprint": "…", "source": "estimated",
+     "estimate": {"predicted_speedup": 31.2, "band": 52.7,
+                  "baseline_cycles": 8143, "polyflow_cycles": 6205}}
+
+``predicted_speedup`` is the estimator's speedup prediction in
+percent, ``band`` its confidence half-width (the exact speedup lands
+inside ``predicted_speedup ± band`` for roughly nine out of ten
+catalog cells).  Estimated answers are labeled ``source=estimated``
+end to end and are never byte-identical to simulation — clients that
+need exact stats re-query without the flag.
 
 **Byte identity** is the service's core invariant: ``stats`` is
 exactly ``SimStats.as_dict()`` of the simulation the serial
@@ -59,7 +77,7 @@ from repro.polyflow.config import MachineConfig
 from repro.spawn import canonical_spec
 
 #: Version of the request/response schema (bump on any field change).
-WIRE_SCHEMA_VERSION = 1
+WIRE_SCHEMA_VERSION = 2
 
 #: Upper bound on cells per query; larger explorations should be
 #: split into several queries (the admission batcher re-coalesces
@@ -73,6 +91,7 @@ MAX_SCALE = 64.0
 SOURCE_MEMO = "memo"
 SOURCE_CACHE = "cache"
 SOURCE_SIMULATED = "simulated"
+SOURCE_ESTIMATED = "estimated"
 SOURCE_ERROR = "error"
 
 #: One requested grid cell, decoded and canonicalized.
@@ -97,6 +116,16 @@ def canonical_json(payload):
 def encode_stats(stats):
     """The wire form of one ``SimStats``: its plain ``as_dict()``."""
     return stats.as_dict()
+
+
+def encode_estimate(estimate):
+    """The wire form of one analytic ``Estimate``."""
+    return {
+        "predicted_speedup": estimate.predicted_speedup,
+        "band": estimate.band,
+        "baseline_cycles": estimate.baseline_cycles,
+        "polyflow_cycles": estimate.polyflow_cycles,
+    }
 
 
 _CONFIG_FIELDS = {field.name for field in dataclasses.fields(MachineConfig)}
@@ -180,12 +209,22 @@ def decode_cell(raw):
     return Cell(workload, canonical_spec(spec), decode_config(raw.get("config")))
 
 
+def decode_estimate(payload):
+    """The query's estimate-mode flag (``False`` when omitted)."""
+    estimate = payload.get("estimate", False) if isinstance(payload, dict) else False
+    if not isinstance(estimate, bool):
+        raise WireError("estimate must be a boolean")
+    return estimate
+
+
 def decode_query(payload):
     """``(cells, scale)`` from one decoded request body.
 
     Policy specs are canonicalized here, so admission-batch
     deduplication (and every cache underneath) is independent of which
-    alias the client used.
+    alias the client used.  The optional ``estimate`` flag is decoded
+    separately by :func:`decode_estimate` (it is validated here so an
+    ill-typed flag fails admission, not execution).
     """
     if not isinstance(payload, dict):
         raise WireError("request body must be a JSON object")
@@ -206,13 +245,14 @@ def decode_query(payload):
         raise WireError(
             "scale must be in (0, {}], got {}".format(MAX_SCALE, scale)
         )
-    unknown = sorted(set(payload) - {"cells", "scale"})
+    decode_estimate(payload)
+    unknown = sorted(set(payload) - {"cells", "scale", "estimate"})
     if unknown:
         raise WireError("unknown request fields: {}".format(", ".join(unknown)))
     return [decode_cell(raw) for raw in raw_cells], scale
 
 
-def encode_query(cells, scale=1.0):
+def encode_query(cells, scale=1.0, estimate=False):
     """The request body for ``cells`` (dicts, tuples, or ``Cell``\\ s)."""
     encoded = []
     for cell in cells:
@@ -228,4 +268,7 @@ def encode_query(cells, scale=1.0):
             continue
         workload, spec = cell
         encoded.append({"workload": workload, "spec": spec})
-    return {"cells": encoded, "scale": scale}
+    payload = {"cells": encoded, "scale": scale}
+    if estimate:
+        payload["estimate"] = True
+    return payload

@@ -1,0 +1,170 @@
+"""Tier B of the grid execution stack: the grid-batch lockstep runner.
+
+The per-cell dispatch path pays fixed costs once per grid cell: a
+``build_core`` (hint-table materialization, block-table binding), a
+warm-cache replay over the whole trace, and — on the pooled path — a
+pickle round-trip per chunk.  For the synthesized catalog those fixed
+costs rival the simulations themselves: thousands of *same-scale*
+cells, each retiring a few thousand instructions.
+
+This module batches them.  :func:`run_batch` takes one chunk of plain
+cells (no metrics, no trace file, no event bus — exactly the cells the
+event-calendar kernel accepts) and:
+
+* **shares warm state per trace** — the first cell of each
+  (workload, machine geometry) group runs the O(trace) warm-cache
+  replay via :meth:`~repro.polyflow.core.PolyFlowCore.prewarm`; its
+  siblings adopt the resulting hierarchy snapshot with
+  :meth:`~repro.polyflow.core.PolyFlowCore.install_warm_state`, which
+  is byte-identical to replaying on their own;
+* **advances live cells in lockstep** — every cell's
+  :meth:`~repro.polyflow.core.PolyFlowCore.run_incremental` generator
+  is stepped round-robin, :data:`DEFAULT_STRIDE` calendar events at a
+  time, and finished cells retire from the rotation immediately (a
+  straggler never holds idle siblings' memory live longer than its own
+  run);
+* **keeps per-cell accounting exact** — each generator step advances
+  exactly one cell, so wall-clock seconds and block-cache counter
+  movement are measured around the steps themselves rather than
+  apportioned from a batch total.
+
+Statistics are **byte-identical** to the per-cell path: the lockstep
+driver only changes *when* each cell's next slice of work runs, never
+what it computes (pinned by the property tests in
+``tests/properties/test_gridbatch_identity.py``).
+
+The runner is on by default behind the ``REPRO_GRIDBATCH`` environment
+flag (``0`` disables it); cells that carry observability instruments
+always take the per-cell path, batch or no batch.
+"""
+
+import os
+import time
+
+#: Event-calendar steps each cell advances per lockstep turn.  Large
+#: enough that generator suspension cost is noise, small enough that a
+#: 50-cell batch rotates several times per typical catalog trace.
+DEFAULT_STRIDE = 4096
+
+#: Fewer plain cells than this run per-cell: batching cannot amortize
+#: anything over a single simulation.
+MIN_BATCH_CELLS = 2
+
+#: Traces shorter than this warm lazily even when siblings share the
+#: trace: the warm-cache replay is O(trace) but a snapshot restore is
+#: O(cache geometry) (~0.4ms on the paper configuration), so sharing
+#: only wins once the replay dwarfs the restore.  Measured crossover
+#: on the paper geometry is in the low thousands of instructions.
+WARM_SHARE_MIN_TRACE = 4096
+
+
+def gridbatch_enabled():
+    """Whether the grid-batch runner is enabled (``REPRO_GRIDBATCH``).
+
+    On by default; set ``REPRO_GRIDBATCH=0`` to force the per-cell
+    dispatch path (the identity tests and the benchmark's per-cell
+    baseline leg do).
+    """
+    return os.environ.get("REPRO_GRIDBATCH", "1") != "0"
+
+
+def batchable(emit_metrics, trace_file=None, bus=None):
+    """Whether one cell may join a lockstep batch.
+
+    Instrumented cells (metrics aggregators, lifecycle trace files,
+    caller-provided buses) keep the per-cell path: their sinks assume
+    one simulation owns the process-global observability stream at a
+    time.
+    """
+    return not emit_metrics and trace_file is None and bus is None
+
+
+class _BatchCell:
+    """One in-flight cell: its core, generator, and accounting."""
+
+    __slots__ = ("core", "generator", "seconds", "blocks", "stats")
+
+    def __init__(self, core, generator, seconds, blocks):
+        self.core = core
+        self.generator = generator
+        self.seconds = seconds
+        self.blocks = blocks
+        self.stats = None
+
+
+def _merge_blocks(into, delta):
+    for key, value in delta.items():
+        into[key] = into.get(key, 0) + value
+
+
+def run_batch(jobs, scale, stride=DEFAULT_STRIDE):
+    """Run plain cells in lockstep; one outcome tuple per job, aligned.
+
+    ``jobs`` is a list of ``(name, spec, config, profile_distance)``
+    tuples; the return value is the aligned list of
+    ``(stats, None, seconds, blocks)`` outcomes —  the same shape
+    :func:`repro.experiments.scheduler.execute_job` reports for a
+    plain cell, so callers book batch results through the exact same
+    path.
+    """
+    from repro.experiments.runner import build_core
+    from repro.polyflow.config import config_fingerprint
+    from repro.sim.blocks import cache_counters, counters_delta
+
+    cells = []
+    keys = []
+    for name, spec, config, profile_distance in jobs:
+        started = time.perf_counter()
+        before = cache_counters()
+        core = build_core(name, spec, scale, config, profile_distance)
+        keys.append((name, config_fingerprint(core.config)))
+        cells.append(
+            _BatchCell(
+                core,
+                core.run_incremental(stride),
+                time.perf_counter() - started,
+                counters_delta(before),
+            )
+        )
+
+    # One warm-cache replay per (trace, machine geometry) *group*: the
+    # first cell replays via prewarm and its siblings adopt the LRU
+    # snapshot, which restores byte-identical state.  A cell with no
+    # sibling — or one whose trace is too short for the replay to cost
+    # more than a snapshot restore — warms lazily inside its first
+    # lockstep step instead: snapshotting a hierarchy nobody reuses
+    # (or one cheaper to rebuild than restore) is pure overhead.
+    key_counts = {}
+    for key in keys:
+        key_counts[key] = key_counts.get(key, 0) + 1
+    warm_snapshots = {}
+    for key, cell in zip(keys, cells):
+        if key_counts[key] < 2 or len(cell.core.trace) < WARM_SHARE_MIN_TRACE:
+            continue
+        started = time.perf_counter()
+        snapshot = warm_snapshots.get(key)
+        if snapshot is None:
+            warm_snapshots[key] = cell.core.prewarm()
+        else:
+            cell.core.install_warm_state(snapshot)
+        cell.seconds += time.perf_counter() - started
+
+    # Lockstep rotation: pop, advance one stride, re-append while live.
+    # Steps are sequential, so measuring around each step attributes
+    # seconds and block-counter movement to exactly one cell.
+    live = list(cells)
+    while live:
+        still_running = []
+        for cell in live:
+            started = time.perf_counter()
+            before = cache_counters()
+            try:
+                next(cell.generator)
+            except StopIteration:
+                cell.stats = cell.core.stats
+            else:
+                still_running.append(cell)
+            cell.seconds += time.perf_counter() - started
+            _merge_blocks(cell.blocks, counters_delta(before))
+        live = still_running
+    return [(cell.stats, None, cell.seconds, cell.blocks) for cell in cells]

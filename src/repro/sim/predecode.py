@@ -104,6 +104,7 @@ class DecodedTrace:
         "mem_dep",
         "dep0",
         "dep1",
+        "_lines_by_shift",
     )
 
     def __init__(self, length):
@@ -122,6 +123,23 @@ class DecodedTrace:
         self.mem_dep = [-1] * length
         self.dep0 = [-1] * length
         self.dep1 = [-1] * length
+        self._lines_by_shift = {}
+
+    def icache_lines(self, offset_bits):
+        """The I-cache line index of every pc (memoized per line size).
+
+        A derived flat column: ``pc >> offset_bits`` for each slot.
+        Every core over the same trace reads the identical line column,
+        so it is computed once per (trace, line size) instead of once
+        per core construction — the grid-batch runner simulates many
+        cells of one trace and this was the largest repeated setup
+        cost.
+        """
+        lines = self._lines_by_shift.get(offset_bits)
+        if lines is None:
+            lines = [pc >> offset_bits for pc in self.pc]
+            self._lines_by_shift[offset_bits] = lines
+        return lines
 
 
 def decode_trace(trace):

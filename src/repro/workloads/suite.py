@@ -149,6 +149,23 @@ def workload_trace_length(name, scale=1.0):
     return prepare_workload(name, scale).dynamic_instructions
 
 
+def peek_workload_trace_length(name, scale=1.0):
+    """Committed-trace length if already known, else None.
+
+    Checks the ``(name, scale)`` preparation memo and the shared
+    analysis cache's memory/disk layers; a miss returns None without
+    generating the trace.  Generating the *source* text is cheap (it is
+    needed to key the cache) — the expensive pipeline never runs.
+    """
+    key = (name, scale)
+    prepared = _PREPARED_CACHE.get(key)
+    if prepared is not None:
+        return prepared.dynamic_instructions
+    from repro.analysis.pipeline import peek_trace_length_for_source
+
+    return peek_trace_length_for_source(workload_source(name, scale))
+
+
 def clear_cache():
     """Drop all cached prepared workloads and the in-memory layer of
     the shared analysis cache (mainly for tests)."""

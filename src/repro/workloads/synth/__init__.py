@@ -19,6 +19,7 @@ from repro.workloads.synth.catalog import (
     scenario_seed,
     scenario_source,
     stratified_sample,
+    stratum_key,
 )
 from repro.workloads.synth.dials import Dials
 from repro.workloads.synth.generator import SynthProgram, generate
@@ -53,6 +54,7 @@ __all__ = [
     "scenario_seed",
     "scenario_source",
     "stratified_sample",
+    "stratum_key",
     "verify_dynamics",
     "verify_oracle",
 ]

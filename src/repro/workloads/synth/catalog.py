@@ -103,9 +103,17 @@ def catalog_digest():
     return hasher.hexdigest()
 
 
-def _stratum_key(name):
+def stratum_key(name):
+    """The :data:`STRATUM_AXES` level tuple of one catalog scenario.
+
+    The unit of stratified sampling and of the estimate-first sweep's
+    per-stratum verdict certificates.
+    """
     dials = scenario_dials(name)
     return tuple(dials.level_of(axis) for axis in STRATUM_AXES)
+
+
+_stratum_key = stratum_key
 
 
 def stratified_sample(count, token=None, names=None):

@@ -64,6 +64,39 @@ def test_job_cost_is_trace_length():
     assert scheduler.job_cost("gzip", _SCALE) > 0
 
 
+def test_job_cost_uses_the_estimator_on_a_cold_catalog_cell():
+    """Tier 2: a catalog scenario nobody has prepared is costed by the
+    closed-form length estimate, not by running the pipeline."""
+    from repro.analysis.estimate import estimated_trace_length
+    from repro.workloads.suite import peek_workload_trace_length
+
+    name = "synth/L2H1C1I1P1S1V0"
+    clear_cache()
+    assert peek_workload_trace_length(name, _SCALE) is None
+    assert scheduler.job_cost(name, _SCALE) == estimated_trace_length(
+        name, _SCALE
+    )
+    # Costing alone must not have prepared the workload.
+    assert peek_workload_trace_length(name, _SCALE) is None
+
+
+def test_job_cost_prefers_the_exact_length_once_cached():
+    """Tier 1 beats tier 2: after preparation the cost is the exact
+    committed length, even for catalog scenarios."""
+    name = "synth/L2H1C1I1P1S1V0"
+    exact = workload_trace_length(name, _SCALE)
+    assert scheduler.job_cost(name, _SCALE) == exact
+
+
+def test_job_cost_falls_back_to_preparing_named_workloads():
+    """Tier 3: named workloads have no closed form; a cold cache
+    prepares them and returns the exact length."""
+    clear_cache()
+    assert scheduler.job_cost("twolf", _SCALE) == workload_trace_length(
+        "twolf", _SCALE
+    )
+
+
 # -- chunk planning (pure) --------------------------------------------------------
 
 

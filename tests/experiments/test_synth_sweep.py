@@ -141,3 +141,166 @@ def test_cli_synth_slice_and_limit(capsys):
 def test_default_specs_cover_paper_champion():
     assert synth_sweep.DEFAULT_SPECS[0] == "postdoms"
     assert len(stratified_sample(5)) == 5
+
+
+# -- estimate-first triage --------------------------------------------------------
+
+
+_TRIAGE_NAMES = tuple(stratified_sample(30, "triage-test-v1"))
+
+
+@pytest.fixture(scope="module")
+def triage():
+    """One estimate-first sweep and the full exact sweep of the same
+    names, for cross-checking the certificate."""
+    runner = ExperimentRunner(scale=0.3)
+    report = synth_sweep.estimate_first_sweep(runner, _TRIAGE_NAMES)
+    exact_rows = sweep(runner, _TRIAGE_NAMES)
+    return report, exact_rows
+
+
+def test_triage_rank_is_deterministic_and_token_sensitive():
+    rank = synth_sweep._triage_rank
+    assert rank("t", "a") == rank("t", "a")
+    assert rank("t", "a") != rank("t", "b")
+    assert rank("t", "a") != rank("u", "a")
+
+
+def test_dominant_prefers_earlier_outcome_on_ties():
+    assert synth_sweep._dominant({WIN: 3, TIE: 1, LOSS: 1}) == WIN
+    assert synth_sweep._dominant({WIN: 2, TIE: 2, LOSS: 0}) == WIN
+    assert synth_sweep._dominant({WIN: 0, TIE: 2, LOSS: 2}) == TIE
+    assert synth_sweep._count_gap({WIN: 5, TIE: 2, LOSS: 0}) == 3
+
+
+def test_outcome_of_margins():
+    assert synth_sweep._outcome_of(2.0, 1.0) == WIN
+    assert synth_sweep._outcome_of(-2.0, 1.0) == LOSS
+    assert synth_sweep._outcome_of(0.5, 1.0) == TIE
+
+
+def test_estimate_first_respects_budget_and_labels_sources(triage):
+    report, _ = triage
+    assert report.budget_cells == int(0.40 * len(_TRIAGE_NAMES))
+    assert report.simulated_cells <= report.budget_cells
+    assert report.simulated_cells + report.estimated_cells == len(_TRIAGE_NAMES)
+    assert report.estimated_cells > 0
+    sources = {row.source for row in report.rows}
+    assert sources == {synth_sweep.SOURCE_SIMULATED, synth_sweep.SOURCE_ESTIMATED}
+    for row in report.rows:
+        if row.source == synth_sweep.SOURCE_ESTIMATED:
+            assert row.adjusted_delta is not None
+
+
+def test_estimate_first_confirmed_verdicts_match_full_sweep(triage):
+    """The certificate's guarantee: every CONFIRMED stratum verdict
+    equals the dominant outcome of an exhaustive exact sweep."""
+    report, exact_rows = triage
+    from repro.workloads.synth import stratum_key
+
+    exact_counts = {}
+    for row in exact_rows:
+        key = stratum_key(row.name)
+        counts = exact_counts.setdefault(
+            key, {outcome: 0 for outcome in (WIN, TIE, LOSS)}
+        )
+        counts[row.outcome(report.specs, report.margin)] += 1
+    confirmed = [
+        verdict
+        for verdict in report.strata.values()
+        if verdict.status == synth_sweep.CONFIRMED
+    ]
+    assert confirmed, "no stratum was certified at the default budget"
+    for verdict in confirmed:
+        assert verdict.verdict == synth_sweep._dominant(exact_counts[verdict.key])
+
+
+def test_estimate_first_is_deterministic():
+    runner = ExperimentRunner(scale=0.3)
+    names = _TRIAGE_NAMES[:12]
+    first = synth_sweep.estimate_first_sweep(runner, names)
+    second = synth_sweep.estimate_first_sweep(runner, names)
+    assert first.render() == second.render()
+    assert [row.source for row in first.rows] == [
+        row.source for row in second.rows
+    ]
+
+
+def test_estimate_first_full_budget_simulates_everything():
+    runner = ExperimentRunner(scale=0.3)
+    names = _TRIAGE_NAMES[:10]
+    report = synth_sweep.estimate_first_sweep(
+        runner, names, budget_fraction=1.0
+    )
+    assert report.estimated_cells == 0
+    assert report.simulated_cells == len(names)
+    for verdict in report.strata.values():
+        assert verdict.status == synth_sweep.CONFIRMED
+
+
+def test_estimate_first_simulates_non_catalog_names_outside_budget():
+    runner = ExperimentRunner(scale=0.3)
+    names = _TRIAGE_NAMES[:8] + ("gzip",)
+    report = synth_sweep.estimate_first_sweep(runner, names)
+    by_name = {row.name: row for row in report.rows}
+    assert by_name["gzip"].source == synth_sweep.SOURCE_SIMULATED
+    # The catalog budget ignores the named workload.
+    assert report.budget_cells == int(0.40 * (len(names) - 1))
+
+
+def test_estimate_first_requires_a_challenger():
+    runner = ExperimentRunner(scale=0.3)
+    with pytest.raises(ValueError):
+        synth_sweep.estimate_first_sweep(
+            runner, _TRIAGE_NAMES[:2], specs=("postdoms",)
+        )
+
+
+def test_coverage_map_counts_sources():
+    dials = Dials()
+    specs = ("postdoms", "loop")
+    rows = [
+        SweepRow("a", dials, {"postdoms": 10.0, "loop": 2.0}),
+        SweepRow(
+            "b",
+            dials,
+            {"postdoms": 2.0, "loop": 10.0},
+            source=synth_sweep.SOURCE_ESTIMATED,
+            adjusted_delta=-8.0,
+        ),
+    ]
+    result = coverage_map(rows, specs)
+    assert result.sources == {"simulated": 1, "estimated": 1}
+    assert "estimated" in result.render()
+
+
+def test_estimated_rows_use_the_debiased_delta():
+    row = SweepRow(
+        "a",
+        Dials(),
+        {"postdoms": 5.0, "loop": 4.5},
+        source=synth_sweep.SOURCE_ESTIMATED,
+        adjusted_delta=3.0,
+    )
+    assert row.delta(("postdoms", "loop")) == pytest.approx(3.0)
+    assert row.outcome(("postdoms", "loop")) == WIN
+
+
+def test_cli_estimate_first(capsys):
+    assert (
+        main(
+            [
+                "synth",
+                "--sample",
+                "20",
+                "--scale",
+                "0.3",
+                "--estimate-first",
+                "--no-cache",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "stratum verdicts" in out
+    assert "estimate-first:" in out

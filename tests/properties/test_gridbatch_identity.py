@@ -1,0 +1,74 @@
+"""Byte-identity of the grid-batch lockstep runner.
+
+The lockstep driver may only change *when* each cell's next slice of
+work runs, never what it computes: on any subset of the synthesized
+catalog crossed with any policy column, :func:`gridbatch.run_batch`
+must report the same :class:`SimStats` the per-cell
+``scheduler.execute_job`` path reports, cell for cell.  Stride is part
+of the property — a stride of 1 interleaves maximally, a huge stride
+degenerates to sequential execution, and neither may move a single
+counter.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import examples
+
+from repro.experiments import scheduler
+from repro.polyflow import PAPER_CONFIG
+from repro.sim import gridbatch
+from repro.spawn import canonical_spec
+from repro.workloads.synth import stratified_sample
+
+_SCALE = 0.3
+_NAME_POOL = stratified_sample(10, "gridbatch-identity-v1")
+_SPEC_POOL = ("postdoms", "loop+procFT+loopFT", "superscalar")
+
+_cells = st.lists(
+    st.tuples(
+        st.sampled_from(_NAME_POOL), st.sampled_from(_SPEC_POOL)
+    ),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+_strides = st.sampled_from((1, 7, gridbatch.DEFAULT_STRIDE, 10**9))
+
+
+@given(cells=_cells, stride=_strides)
+@settings(max_examples=examples(12), deadline=None)
+def test_lockstep_stats_match_per_cell_path(cells, stride):
+    jobs = [
+        (name, canonical_spec(spec), PAPER_CONFIG, None)
+        for name, spec in cells
+    ]
+    per_cell = [
+        scheduler.execute_job(name, spec, _SCALE, config, distance)
+        for name, spec, config, distance in jobs
+    ]
+    batched = gridbatch.run_batch(jobs, _SCALE, stride=stride)
+    assert len(batched) == len(per_cell)
+    for (expected, *_), (actual, metrics, seconds, blocks) in zip(
+        per_cell, batched
+    ):
+        assert actual.as_dict() == expected.as_dict()
+        assert metrics is None
+        assert seconds >= 0.0
+        assert isinstance(blocks, dict)
+
+
+def test_batchable_rejects_instrumented_cells():
+    assert gridbatch.batchable(False)
+    assert not gridbatch.batchable(True)
+    assert not gridbatch.batchable(False, trace_file="x.jsonl")
+    assert not gridbatch.batchable(False, bus=object())
+
+
+def test_flag_default_and_off_switch(monkeypatch):
+    monkeypatch.delenv("REPRO_GRIDBATCH", raising=False)
+    assert gridbatch.gridbatch_enabled()
+    monkeypatch.setenv("REPRO_GRIDBATCH", "0")
+    assert not gridbatch.gridbatch_enabled()
+    monkeypatch.setenv("REPRO_GRIDBATCH", "1")
+    assert gridbatch.gridbatch_enabled()

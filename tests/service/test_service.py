@@ -152,6 +152,53 @@ def test_healthz_shape(service_factory):
         "memo",
         "cache",
         "simulated",
+        "estimated",
         "error",
     }
     assert set(engine["incidents"]) == {"corrupt_cache_entries", "pool_restarts"}
+
+
+# -- estimate mode ----------------------------------------------------------------
+
+
+def test_estimate_queries_answer_analytically(service_factory):
+    """``estimate: true`` answers every cell from the Tier A estimator:
+    no simulation, ``source=estimated``, and the prediction matches a
+    direct ``estimate_speedup`` call byte for byte."""
+    from repro.analysis.estimate import estimate_speedup
+
+    running = service_factory(window_seconds=0.0)
+    client = running.client()
+    response = client.query(_CELLS, scale=_SCALE, estimate=True)
+
+    assert response["schema"] == wire.WIRE_SCHEMA_VERSION
+    assert [r["source"] for r in response["results"]] == [
+        "estimated",
+        "estimated",
+    ]
+    for result, cell in zip(response["results"], _CELLS):
+        assert "stats" not in result
+        direct = estimate_speedup(cell["workload"], cell["spec"], _SCALE)
+        assert wire.canonical_json(result["estimate"]) == wire.canonical_json(
+            wire.encode_estimate(direct)
+        )
+
+    health = client.healthz()
+    assert health["engine"]["cells"]["by_source"]["estimated"] == 2
+    assert health["engine"]["cells"]["by_source"]["simulated"] == 0
+    assert health["engine"]["summary"]["jobs_run"] == 0
+
+
+def test_estimate_mode_does_not_poison_the_memo(service_factory):
+    """An estimate query then the same cells exactly: the exact pass
+    must simulate (no memo hit from the analytic answers) and report
+    true stats."""
+    client = service_factory(window_seconds=0.0).client()
+    client.query(_CELLS, scale=_SCALE, estimate=True)
+    exact = client.query(_CELLS, scale=_SCALE)
+    assert [r["source"] for r in exact["results"]] == [
+        "simulated",
+        "simulated",
+    ]
+    for result, truth in zip(exact["results"], _serial_stats(_CELLS)):
+        assert wire.canonical_json(result["stats"]) == wire.canonical_json(truth)

@@ -126,6 +126,42 @@ def test_decode_query_enforces_cell_limit():
         wire.decode_query(_query(cells))
 
 
+# -- estimate mode ----------------------------------------------------------------
+
+
+def test_decode_estimate_defaults_false_and_round_trips():
+    assert wire.decode_estimate(_query([["gzip", "postdoms"]])) is False
+    payload = wire.encode_query([("gzip", "postdoms")], scale=0.5, estimate=True)
+    assert payload["estimate"] is True
+    assert wire.decode_estimate(payload) is True
+    # The flag is omitted entirely when off (older servers stay happy).
+    assert "estimate" not in wire.encode_query([("gzip", "postdoms")])
+
+
+def test_decode_estimate_rejects_non_boolean():
+    payload = _query([["gzip", "postdoms"]])
+    payload["estimate"] = "yes"
+    with pytest.raises(wire.WireError, match="estimate must be a boolean"):
+        wire.decode_estimate(payload)
+    # decode_query validates the flag too, so admission rejects it.
+    with pytest.raises(wire.WireError, match="estimate must be a boolean"):
+        wire.decode_query(payload)
+
+
+def test_encode_estimate_carries_the_decision_interval():
+    from repro.analysis.estimate import estimate_speedup
+
+    estimate = estimate_speedup("synth/L1H1C0I0P0S0V0", "postdoms", scale=0.3)
+    encoded = wire.encode_estimate(estimate)
+    assert set(encoded) == {
+        "predicted_speedup",
+        "band",
+        "baseline_cycles",
+        "polyflow_cycles",
+    }
+    assert encoded["band"] > 0
+
+
 # -- canonical bytes --------------------------------------------------------------
 
 
