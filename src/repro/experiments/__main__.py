@@ -38,6 +38,8 @@ _TRACE = "trace"
 _SYNTH = "synth"
 _SERVE = "serve"
 _QUERY = "query"
+_FABRIC = "fabric"
+_CACHE_GC = "cache-gc"
 
 
 def main(argv=None):
@@ -48,14 +50,18 @@ def main(argv=None):
     )
     parser.add_argument(
         "figure",
-        choices=_FIGURES + (_ABLATIONS, _TRACE, _SYNTH, _SERVE, _QUERY, "all"),
+        choices=_FIGURES
+        + (_ABLATIONS, _TRACE, _SYNTH, _SERVE, _QUERY, _FABRIC, _CACHE_GC, "all"),
         help="which figure to regenerate ('ablations' runs the "
         "design-choice sweeps; 'trace' runs one fully-observed "
         "simulation, see --workload/--policy; 'synth' sweeps the "
         "synthesized scenario catalog and prints the win/loss "
         "coverage map, see --sample/--slice; 'serve' starts the "
         "always-on exploration service, see --host/--port; 'query' "
-        "asks a running service for stats, see --cells)",
+        "asks a running service for stats, see --cells; 'fabric' "
+        "prints a placement dry-run for a synth slice, see "
+        "--fabric-workers/--fabric-store; 'cache-gc' sweeps the "
+        "result cache and fabric store, see --max-bytes)",
     )
     parser.add_argument(
         "--scale",
@@ -161,6 +167,46 @@ def main(argv=None):
         "catalog cells that may be simulated (default 0.40)",
     )
     parser.add_argument(
+        "--fabric-workers",
+        type=int,
+        default=0,
+        help="ship pooled chunks to this many fabric worker processes "
+        "instead of the local warm pool (0 = off; not capped at the "
+        "local CPU count — workers may be remote)",
+    )
+    parser.add_argument(
+        "--fabric-store",
+        default=None,
+        help="shared content-addressed artifact store directory: "
+        "workers fetch cells other participants already simulated "
+        "and publish fresh results back",
+    )
+    parser.add_argument(
+        "--fabric-transport",
+        choices=("subprocess", "local"),
+        default="subprocess",
+        help="fabric executor: 'subprocess' launches worker processes "
+        "speaking the frame protocol (default), 'local' routes the "
+        "fabric through the in-process warm pool",
+    )
+    parser.add_argument(
+        "--fabric-ssh",
+        default=None,
+        metavar="TEMPLATE",
+        help="command template launching one worker, e.g. "
+        "'ssh buildhost {python} -u -m repro.experiments.fabric."
+        "worker'; {python} expands to this interpreter "
+        "(default: local subprocesses)",
+    )
+    parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="(cache-gc) evict least-recently-written entries until "
+        "the tree fits in this many bytes (default: prune corrupt "
+        "entries only)",
+    )
+    parser.add_argument(
         "--host",
         default="127.0.0.1",
         help="(serve/query) service bind/connect address "
@@ -233,6 +279,10 @@ def main(argv=None):
         return _run_serve(arguments)
     if arguments.figure == _QUERY:
         return _run_query(arguments, parser)
+    if arguments.figure == _CACHE_GC:
+        return _run_cache_gc(arguments)
+    if arguments.figure == _FABRIC:
+        return _run_fabric_plan(arguments)
 
     if arguments.figure == _TRACE:
         if not arguments.workload:
@@ -249,6 +299,10 @@ def main(argv=None):
         trace_dir=arguments.trace_dir,
         chunk=arguments.chunk,
         schedule=arguments.schedule,
+        fabric_workers=arguments.fabric_workers,
+        fabric_store=arguments.fabric_store,
+        fabric_transport=arguments.fabric_transport,
+        fabric_command=arguments.fabric_ssh,
     )
     started = time.time()
 
@@ -353,6 +407,120 @@ def _run_synth(arguments, runner, started):
     return 0
 
 
+def _run_cache_gc(arguments):
+    """Sweep the result cache (and fabric store) — ``cache-gc``."""
+    from repro.experiments.parallel import ResultCache
+
+    targets = []
+    if not arguments.no_cache:
+        targets.append(("result cache", ResultCache(arguments.cache_dir)))
+    if arguments.fabric_store:
+        from repro.experiments.fabric.store import SharedStore
+
+        targets.append(("fabric store", SharedStore(arguments.fabric_store)))
+    if not targets:
+        print("cache-gc: nothing to sweep (--no-cache and no --fabric-store)")
+        return 1
+    for label, tree in targets:
+        report = tree.gc(arguments.max_bytes)
+        print(
+            "{} {}: {} corrupt pruned, {} evicted (LRU), "
+            "{} bytes freed; {} entries / {} bytes kept".format(
+                label,
+                tree.root,
+                report["removed_corrupt"],
+                report["removed_lru"],
+                report["removed_bytes"],
+                report["kept_entries"],
+                report["kept_bytes"],
+            )
+        )
+    return 0
+
+
+def _run_fabric_plan(arguments):
+    """Print a placement dry-run for a synth slice — ``fabric``.
+
+    Costs the requested grid (store-probing, so held cells are priced
+    as fetches), plans chunks and worker shards, and prints the
+    placement without simulating anything.
+    """
+    from repro.experiments import scheduler, synth_sweep
+    from repro.experiments.parallel import ParallelExperimentRunner
+    from repro.workloads.synth import catalog_names, stratified_sample
+
+    workers = arguments.fabric_workers or 2
+    names = catalog_names()
+    if arguments.slice_prefix:
+        prefix = "synth/" + arguments.slice_prefix
+        names = tuple(name for name in names if name.startswith(prefix))
+    if arguments.sample is not None:
+        names = stratified_sample(arguments.sample, names=names)
+    elif arguments.limit is not None:
+        names = names[: arguments.limit]
+    specs = synth_sweep.DEFAULT_SPECS
+    if arguments.specs:
+        specs = tuple(
+            spec.strip() for spec in arguments.specs.split(",") if spec.strip()
+        )
+    runner = ParallelExperimentRunner(
+        scale=arguments.scale,
+        cache_dir=None if arguments.no_cache else arguments.cache_dir,
+        fabric_workers=workers,
+        fabric_store=arguments.fabric_store,
+        fabric_transport=arguments.fabric_transport,
+    )
+    jobs = runner.normalize_jobs(
+        [(name, spec) for name in names for spec in specs]
+    )
+    store = runner.fabric_store
+    costs = []
+    held = 0
+    for name, spec, config, profile_distance in jobs:
+        digest = (
+            runner._job_digest(name, spec, config, profile_distance)
+            if store is not None
+            else None
+        )
+        cost = scheduler.job_cost(
+            name, arguments.scale, store=store, digest=digest
+        )
+        held += 1 if cost == scheduler.STORE_HELD_COST else 0
+        costs.append(cost)
+    inline, pooled, pooled_costs = scheduler.split_inline(
+        jobs, costs, workers, runner.fabric_inline_threshold
+    )
+    chunks = scheduler.plan_chunks(
+        pooled, pooled_costs, workers, arguments.chunk, arguments.schedule
+    )
+    chunk_costs = [
+        sum(
+            cost
+            for job, cost in zip(pooled, pooled_costs)
+            if any(job is member for member in chunk)
+        )
+        for chunk in chunks
+    ]
+    shards = scheduler.plan_shards(chunk_costs, workers)
+    print(
+        "fabric plan: {} cells ({} store-held), {} inline, "
+        "{} chunks across {} workers".format(
+            len(jobs), held, len(inline), len(chunks), workers
+        )
+    )
+    for worker, shard in enumerate(shards):
+        cells = sum(len(chunks[index]) for index in shard)
+        cost = sum(chunk_costs[index] for index in shard)
+        print(
+            "  worker {}: {} chunks, {} cells, estimated cost {}".format(
+                worker, len(shard), cells, cost
+            )
+        )
+    if store is not None:
+        print("  store: {} ({} entries)".format(store.root, len(store)))
+    return 0
+
+
 def _run_serve(arguments):
     """Run the always-on exploration service until SIGTERM/SIGINT."""
     import asyncio
@@ -373,6 +541,9 @@ def _run_serve(arguments):
             cache_dir=None if arguments.no_cache else arguments.cache_dir,
             chunk=arguments.chunk,
             schedule=arguments.schedule,
+            fabric_workers=arguments.fabric_workers,
+            fabric_store=arguments.fabric_store,
+            fabric_transport=arguments.fabric_transport,
         )
         await service.start()
         # Machine-parsable endpoint line (scripts read it to learn the

@@ -1,0 +1,41 @@
+"""The experiment fabric: sharded execution across worker processes.
+
+The grid scheduler of :mod:`repro.experiments.scheduler` fans chunks
+out to a warm in-process fork pool — bounded by one machine's cores.
+This package ships the same cost-balanced chunks to *external*
+executors instead:
+
+* :mod:`~repro.experiments.fabric.protocol` — the length-prefixed
+  JSON chunk protocol (wire-version guarded) workers speak over
+  stdin/stdout, including an exact JSON round-trip of the scheduler's
+  packed stat tuples.
+* :mod:`~repro.experiments.fabric.store` — :class:`SharedStore`, the
+  content-addressed artifact store (digest-verified fetch, atomic
+  publish, local read-through cache) workers and parents share.
+* :mod:`~repro.experiments.fabric.transport` — the
+  :class:`Transport` implementations: :class:`LocalPoolTransport`
+  (today's warm pool behind the fabric interface) and
+  :class:`SubprocessWorkerTransport` (worker processes launched
+  locally or through an SSH command template).
+* :mod:`~repro.experiments.fabric.worker` — the worker entry point
+  (``python -m repro.experiments.fabric.worker``).
+
+Placement never changes results: cells are deterministic simulations
+keyed by their job digests, outcomes merge into the same keyed memo
+the serial runner reads, and the placement-invariance suite asserts
+byte identity across transports, worker counts, and schedules.
+"""
+
+from repro.experiments.fabric.store import SharedStore
+from repro.experiments.fabric.transport import (
+    FabricWorkerDied,
+    LocalPoolTransport,
+    SubprocessWorkerTransport,
+)
+
+__all__ = [
+    "SharedStore",
+    "FabricWorkerDied",
+    "LocalPoolTransport",
+    "SubprocessWorkerTransport",
+]

@@ -1,0 +1,237 @@
+"""The shared content-addressed artifact store of the fabric.
+
+:class:`SharedStore` promotes the on-disk layout of
+:class:`~repro.experiments.parallel.ResultCache` — entries sharded by
+the first two characters of their job digest, written through a
+temporary file plus :func:`os.replace` — to a *fetch/publish* protocol
+that many workers (and many machines, over a shared filesystem) can
+hit concurrently:
+
+* **publish** is atomic: concurrent publishers of the same digest race
+  harmlessly, last rename wins, and readers never observe a torn
+  entry.
+* **fetch** is digest-verified: every entry is wrapped in an envelope
+  carrying the SHA-256 of its body, checked on every read.  A
+  mismatch (bit rot, a torn copy from a non-atomic remote sync) is
+  *rejected* — counted, reported, treated as a miss — never decoded.
+* an optional **local read-through cache** keeps a machine-local copy
+  of everything fetched from (or published to) the shared root, so a
+  worker on a far store pays the round-trip once per artifact.
+
+Entry bodies are exactly the pickled ``{"meta", "stats", "metrics"}``
+dict the :class:`ResultCache` writes, so a CI cache seeds a fabric
+store with :func:`seed_from_cache` — a re-wrap, not a re-simulation.
+"""
+
+import hashlib
+import os
+import pickle
+import tempfile
+
+#: Envelope header magic; the version covers the envelope format only
+#: (the pickled body is versioned by the result-cache format).
+_MAGIC = b"polyflow-fabric-store"
+ENVELOPE_VERSION = 1
+
+#: Filename suffix of store entries (distinct from the result cache's
+#: bare pickles: a store entry is envelope-wrapped).
+ENTRY_SUFFIX = ".blob"
+
+
+def _wrap(body):
+    digest = hashlib.sha256(body).hexdigest()
+    header = b" ".join(
+        (_MAGIC, str(ENVELOPE_VERSION).encode("ascii"), digest.encode("ascii"))
+    )
+    return header + b"\n" + body
+
+
+def _unwrap(data):
+    """The verified body of one envelope, or ``None`` if damaged."""
+    header, separator, body = data.partition(b"\n")
+    if not separator:
+        return None
+    parts = header.split(b" ")
+    if len(parts) != 3 or parts[0] != _MAGIC:
+        return None
+    if parts[1] != str(ENVELOPE_VERSION).encode("ascii"):
+        return None
+    if hashlib.sha256(body).hexdigest().encode("ascii") != parts[2]:
+        return None
+    return body
+
+
+def entry_body(stats, meta, metrics=None):
+    """The pickled store body of one finished simulation."""
+    return pickle.dumps({"meta": meta, "stats": stats, "metrics": metrics})
+
+
+def decode_entry(body):
+    """``(stats, metrics)`` of one store body."""
+    entry = pickle.loads(body)
+    return entry["stats"], entry.get("metrics")
+
+
+class SharedStore:
+    """One store root: digest-keyed, envelope-verified artifacts.
+
+    ``local_root`` enables the read-through cache: fetches probe it
+    first, and every shared-root hit (and every publish) is mirrored
+    there.  Counters (``fetches``/``hits``/``misses``/``publishes``/
+    ``local_hits``/``corrupt_rejected``) accumulate for the run
+    summary's fabric telemetry.
+    """
+
+    def __init__(self, root, local_root=None):
+        self.root = root
+        self.local = SharedStore(local_root) if local_root else None
+        self.fetches = 0
+        self.hits = 0
+        self.misses = 0
+        self.publishes = 0
+        self.local_hits = 0
+        self.corrupt_rejected = 0
+
+    def path(self, digest):
+        return os.path.join(self.root, digest[:2], digest + ENTRY_SUFFIX)
+
+    def contains(self, digest):
+        """Whether an entry exists (a cheap probe — no verification).
+
+        The cost model uses this to price store-held cells (see
+        :func:`repro.experiments.scheduler.job_cost`); actual loads
+        always go through the verifying :meth:`fetch`.
+        """
+        return os.path.exists(self.path(digest))
+
+    def _read(self, digest):
+        """The verified body under this root alone, or ``None``."""
+        try:
+            with open(self.path(digest), "rb") as handle:
+                data = handle.read()
+        except OSError:
+            return None
+        body = _unwrap(data)
+        if body is None:
+            self.corrupt_rejected += 1
+        return body
+
+    def fetch(self, digest):
+        """The verified body for ``digest``, or ``None`` on a miss.
+
+        A corrupt entry — torn, truncated, or failing its digest
+        check — counts as ``corrupt_rejected`` *and* a miss: the
+        caller re-simulates and republishes over it.
+        """
+        self.fetches += 1
+        if self.local is not None:
+            body = self.local._read(digest)
+            if body is not None:
+                self.local_hits += 1
+                self.hits += 1
+                return body
+        body = self._read(digest)
+        if body is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if self.local is not None:
+            self.local.publish(digest, body)
+        return body
+
+    def publish(self, digest, body):
+        """Atomically write ``body`` under ``digest`` (idempotent).
+
+        Concurrent publishers of the same digest both succeed; the
+        entry is replaced whole either way, so readers racing the
+        rename see the old envelope or the new one, never a mix.
+        """
+        path = self.path(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        handle, temp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(_wrap(body))
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        self.publishes += 1
+        if self.local is not None:
+            self.local.publish(digest, body)
+
+    def stats(self):
+        """The counter snapshot (cumulative for this store object)."""
+        return {
+            "fetches": self.fetches,
+            "hits": self.hits,
+            "misses": self.misses,
+            "publishes": self.publishes,
+            "local_hits": self.local_hits,
+            "corrupt_rejected": self.corrupt_rejected,
+        }
+
+    def __len__(self):
+        if not os.path.isdir(self.root):
+            return 0
+        count = 0
+        for shard in os.listdir(self.root):
+            shard_path = os.path.join(self.root, shard)
+            if os.path.isdir(shard_path):
+                count += sum(
+                    1
+                    for entry in os.listdir(shard_path)
+                    if entry.endswith(ENTRY_SUFFIX)
+                )
+        return count
+
+    def gc(self, max_bytes=None):
+        """Size-capped LRU sweep (see :meth:`ResultCache.gc`).
+
+        Entries failing their envelope check are pruned first, then
+        the oldest entries (by mtime) are evicted until the store fits
+        in ``max_bytes``.
+        """
+        from repro.experiments.parallel import sweep_entries
+
+        return sweep_entries(
+            self.root,
+            max_bytes,
+            suffix=ENTRY_SUFFIX,
+            verify=lambda data: _unwrap(data) is not None,
+        )
+
+
+def seed_from_cache(store, cache_root):
+    """Publish every entry of a :class:`ResultCache` tree into ``store``.
+
+    The cache's bare pickles become envelope-wrapped store entries
+    keyed by the same job digests (the filenames).  Returns the number
+    of entries published.  Unreadable files are skipped — seeding a
+    cache that is concurrently being written must not fail the run.
+    """
+    seeded = 0
+    if not os.path.isdir(cache_root):
+        return seeded
+    for shard in sorted(os.listdir(cache_root)):
+        shard_path = os.path.join(cache_root, shard)
+        if len(shard) != 2 or not os.path.isdir(shard_path):
+            continue
+        for entry in sorted(os.listdir(shard_path)):
+            if not entry.endswith(".pkl"):
+                continue
+            digest = entry[: -len(".pkl")]
+            try:
+                with open(os.path.join(shard_path, entry), "rb") as handle:
+                    body = handle.read()
+                pickle.loads(body)
+            except Exception:
+                continue
+            store.publish(digest, body)
+            seeded += 1
+    return seeded

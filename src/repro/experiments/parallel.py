@@ -36,6 +36,11 @@ from concurrent.futures.process import BrokenProcessPool
 from repro.analysis.pipeline import configure_disk_cache
 from repro.errors import ConfigurationError
 from repro.experiments import scheduler
+from repro.experiments.fabric.transport import (
+    FabricWorkerDied,
+    LocalPoolTransport,
+    SubprocessWorkerTransport,
+)
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scheduler import execute_job
 from repro.polyflow.config import config_fingerprint
@@ -77,6 +82,87 @@ def job_digest(name, spec, scale, config, profile_distance):
         separators=(",", ":"),
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _pickle_loadable(data):
+    try:
+        pickle.loads(data)
+    except Exception:
+        return False
+    return True
+
+
+def sweep_entries(root, max_bytes=None, suffix=".pkl", verify=_pickle_loadable):
+    """Size-capped LRU sweep of one sharded content-addressed tree.
+
+    Walks the two-hex-character shard directories under ``root`` (the
+    layout both :class:`ResultCache` and the fabric's shared store
+    use), removing entries in two passes:
+
+    1. **corrupt first** — every entry failing ``verify`` (an
+       unreadable pickle, a store envelope with a digest mismatch) is
+       pruned unconditionally;
+    2. **oldest next** — while the surviving entries exceed
+       ``max_bytes``, the least-recently-written (smallest mtime) are
+       evicted.  ``max_bytes=None`` skips this pass.
+
+    Emptied shard directories are removed.  Returns a report dict
+    (``removed_corrupt``, ``removed_lru``, ``removed_bytes``,
+    ``kept_entries``, ``kept_bytes``).
+    """
+    survivors = []
+    removed_corrupt = removed_lru = removed_bytes = 0
+    if os.path.isdir(root):
+        for shard in sorted(os.listdir(root)):
+            shard_path = os.path.join(root, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_path):
+                continue
+            for entry in sorted(os.listdir(shard_path)):
+                if not entry.endswith(suffix):
+                    continue
+                path = os.path.join(shard_path, entry)
+                try:
+                    status = os.stat(path)
+                    with open(path, "rb") as handle:
+                        ok = verify(handle.read())
+                except OSError:
+                    continue
+                if not ok:
+                    os.unlink(path)
+                    removed_corrupt += 1
+                    removed_bytes += status.st_size
+                else:
+                    survivors.append((status.st_mtime, path, status.st_size))
+    if max_bytes is not None:
+        survivors.sort()
+        total = sum(size for _, _, size in survivors)
+        evicted = 0
+        while survivors and total > max_bytes:
+            _, path, size = survivors[evicted]
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            total -= size
+            removed_lru += 1
+            removed_bytes += size
+            evicted += 1
+        survivors = survivors[evicted:]
+    if os.path.isdir(root):
+        for shard in os.listdir(root):
+            shard_path = os.path.join(root, shard)
+            if len(shard) == 2 and os.path.isdir(shard_path):
+                try:
+                    os.rmdir(shard_path)
+                except OSError:
+                    pass
+    return {
+        "removed_corrupt": removed_corrupt,
+        "removed_lru": removed_lru,
+        "removed_bytes": removed_bytes,
+        "kept_entries": len(survivors),
+        "kept_bytes": sum(size for _, _, size in survivors),
+    }
 
 
 class ResultCache:
@@ -166,6 +252,18 @@ class ResultCache:
                 )
         return count
 
+    def gc(self, max_bytes=None):
+        """Size-capped LRU sweep: corrupt entries first, oldest next.
+
+        Caches grow unbounded across sweeps; long-lived fabric stores
+        and CI caches call this (or the ``cache-gc`` CLI) to stay
+        under a byte budget.  Eviction is mtime-based — entries are
+        content-addressed and immutable, so write time is the recency
+        signal.  Only the two-hex-shard entry tree is touched; the
+        ``analysis/`` subdirectory living alongside it is not.
+        """
+        return sweep_entries(self.root, max_bytes)
+
 
 class RunSummary:
     """Where the time went: jobs simulated, cache hits, wall clock.
@@ -206,6 +304,28 @@ class RunSummary:
         #: Cells answered from the analytic estimator alone — no
         #: simulation ran, the consumer saw ``source=estimated``.
         self.estimated_cells = 0
+        #: Fabric telemetry: placement, store traffic, incidents.
+        #: Flat numerics only (the service merges summaries by summing
+        #: one dict level); per-worker vectors live in
+        #: :attr:`fabric_placement` for rendering and tests.
+        self.fabric = {
+            "workers": 0,
+            "chunks": 0,
+            "cells": 0,
+            "store_cells": 0,
+            "replanned_cells": 0,
+            "restarts": 0,
+            "straggler_seconds": 0.0,
+            "store_fetches": 0,
+            "store_hits": 0,
+            "store_misses": 0,
+            "store_publishes": 0,
+            "store_local_hits": 0,
+            "store_corrupt_rejected": 0,
+        }
+        #: The latest transport placement snapshot (per-worker cell and
+        #: wall-clock vectors; not part of :meth:`as_dict`).
+        self.fabric_placement = None
 
     def record_job(self, name, spec, seconds):
         self.jobs_run += 1
@@ -235,6 +355,39 @@ class RunSummary:
     def record_estimated(self, count=1):
         """Note cells served analytically (``source=estimated``)."""
         self.estimated_cells += count
+
+    def record_fabric_schedule(self, workers, chunks, cells):
+        """Accumulate one fabric dispatch's shape."""
+        self.fabric["workers"] = max(self.fabric["workers"], workers)
+        self.fabric["chunks"] += chunks
+        self.fabric["cells"] += cells
+
+    def record_fabric_store_cells(self, count):
+        """Note ``count`` cells answered from the shared store."""
+        self.fabric["store_cells"] += count
+
+    def record_fabric_replan(self, cells):
+        """Note one dead-worker incident and the cells it replanned."""
+        self.fabric["restarts"] += 1
+        self.fabric["replanned_cells"] += cells
+
+    def record_fabric_placement(self, placement):
+        """Absorb one transport placement snapshot (straggler wall,
+        per-worker vectors for :meth:`render`)."""
+        self.fabric_placement = placement
+        self.fabric["straggler_seconds"] = max(
+            self.fabric["straggler_seconds"],
+            placement.get("straggler_seconds", 0.0),
+        )
+
+    def set_fabric_store(self, stats):
+        """Overwrite the store counters with a cumulative snapshot.
+
+        Store objects count cumulatively across a run, so the latest
+        snapshot *is* the total — adding would double-book.
+        """
+        for key, value in stats.items():
+            self.fabric["store_" + key] = value
 
     def record_schedule(self, plan):
         """Accumulate one :class:`~repro.experiments.scheduler.GridSchedule`."""
@@ -290,6 +443,7 @@ class RunSummary:
             "block_cache": dict(self.block_cache),
             "batched_jobs": self.batched_jobs,
             "estimated_cells": self.estimated_cells,
+            "fabric": dict(self.fabric),
             "wall_seconds": self.wall_seconds,
             "total_sim_seconds": self.total_sim_seconds,
         }
@@ -330,6 +484,51 @@ class RunSummary:
             lines.append(
                 "  {} worker-pool restart(s) after dead workers".format(
                     self.pool_restarts
+                )
+            )
+        if self.fabric["cells"]:
+            lines.append(
+                "  fabric: {} cells in {} chunks across {} workers "
+                "({} from store), straggler {:.1f}s".format(
+                    self.fabric["cells"],
+                    self.fabric["chunks"],
+                    self.fabric["workers"],
+                    self.fabric["store_cells"],
+                    self.fabric["straggler_seconds"],
+                )
+            )
+            if self.fabric_placement:
+                lines.append(
+                    "    cells by worker: {}".format(
+                        self.fabric_placement.get("cells_by_worker")
+                    )
+                )
+        if self.fabric["store_fetches"] or self.fabric["store_publishes"]:
+            lines.append(
+                "  fabric store: {} hits / {} misses, {} published, "
+                "{} local hits, {} corrupt rejected".format(
+                    self.fabric["store_hits"],
+                    self.fabric["store_misses"],
+                    self.fabric["store_publishes"],
+                    self.fabric["store_local_hits"],
+                    self.fabric["store_corrupt_rejected"],
+                )
+            )
+        if self.fabric.get("worker_store_fetches") or self.fabric.get(
+            "worker_store_publishes"
+        ):
+            lines.append(
+                "  worker store traffic: {} hits / {} misses, "
+                "{} published".format(
+                    self.fabric.get("worker_store_hits", 0),
+                    self.fabric.get("worker_store_misses", 0),
+                    self.fabric.get("worker_store_publishes", 0),
+                )
+            )
+        if self.fabric["restarts"]:
+            lines.append(
+                "  {} fabric worker restart(s); {} cells replanned".format(
+                    self.fabric["restarts"], self.fabric["replanned_cells"]
                 )
             )
         if any(self.block_cache.values()):
@@ -399,6 +598,13 @@ class ParallelExperimentRunner(ExperimentRunner):
         inline_threshold=None,
         cpus=None,
         pool_retries=1,
+        fabric_workers=0,
+        fabric_store=None,
+        fabric_transport="subprocess",
+        fabric_command=None,
+        fabric_chunk_timeout=None,
+        fabric_throughputs=None,
+        fabric_extra_env=None,
     ):
         keyword_arguments = {}
         if config is not None:
@@ -420,6 +626,14 @@ class ParallelExperimentRunner(ExperimentRunner):
             if inline_threshold is None
             else inline_threshold
         )
+        #: The fabric's inline floor.  The warm-pool threshold guards
+        #: against fork/pickle overhead swamping cheap cells on *this*
+        #: machine; fabric workers are explicitly provisioned capacity,
+        #: so by default every pooled cell ships (callers that pass
+        #: ``inline_threshold`` keep their floor on both paths).
+        self.fabric_inline_threshold = (
+            0 if inline_threshold is None else inline_threshold
+        )
         self.cpus = cpus
         #: Times a grid is retried after a ``BrokenProcessPool`` (each
         #: retry starts a fresh pool and replans only unfinished cells).
@@ -438,6 +652,35 @@ class ParallelExperimentRunner(ExperimentRunner):
         self.emit_metrics = bool(emit_metrics)
         #: Write a compact lifecycle-events JSONL per simulation here.
         self.trace_dir = trace_dir
+        #: Fabric executors for pooled chunks (0 = the classic local
+        #: warm-pool path).  Unlike ``jobs``, this is *not* capped at
+        #: the local CPU count — fabric workers may be other machines.
+        self.fabric_workers = max(0, int(fabric_workers))
+        if fabric_transport not in ("subprocess", "local"):
+            raise ConfigurationError(
+                "unknown fabric transport {!r}; choose 'subprocess' or "
+                "'local'".format(fabric_transport)
+            )
+        if self.fabric_workers and (self.emit_metrics or trace_dir is not None):
+            raise ConfigurationError(
+                "the fabric ships plain cells only; metrics emission and "
+                "trace files keep the local warm-pool path (drop "
+                "--fabric-workers or the instrumentation flag)"
+            )
+        self.fabric_transport = fabric_transport
+        self.fabric_command = fabric_command
+        self.fabric_chunk_timeout = fabric_chunk_timeout
+        self.fabric_throughputs = fabric_throughputs
+        self.fabric_extra_env = fabric_extra_env
+        if isinstance(fabric_store, str):
+            from repro.experiments.fabric.store import SharedStore
+
+            fabric_store = SharedStore(fabric_store)
+        #: The shared content-addressed artifact store (or ``None``).
+        #: Read through in the parent (see :meth:`_load_cached`) and
+        #: passed to fabric workers for fetch/publish.
+        self.fabric_store = fabric_store
+        self._fabric = None
 
     # -- cache plumbing -----------------------------------------------------------
 
@@ -476,33 +719,68 @@ class ParallelExperimentRunner(ExperimentRunner):
         entry does not carry.  Metrics a usable hit *does* carry flow
         into the run summary exactly as a fresh simulation's would.
         """
-        if self.cache is None or self.trace_dir is not None:
+        if self.trace_dir is not None:
+            return None
+        if self.cache is None and self.fabric_store is None:
             return None
         digest = self._job_digest(name, spec, config, profile_distance)
-        corrupt_before = self.cache.corrupt
-        entry = self.cache.load(digest)
-        if self.cache.corrupt > corrupt_before:
-            self.summary.record_corrupt(self.cache.path(digest))
-        if entry is None:
-            return None
-        stats, metrics = entry
-        if self.emit_metrics and not metrics:
-            return None
-        self.summary.record_hit()
-        if self.emit_metrics:
-            self.summary.record_metrics(self._job_label(spec, config), metrics)
-        return stats
+        if self.cache is not None:
+            corrupt_before = self.cache.corrupt
+            entry = self.cache.load(digest)
+            if self.cache.corrupt > corrupt_before:
+                self.summary.record_corrupt(self.cache.path(digest))
+            if entry is not None:
+                stats, metrics = entry
+                if self.emit_metrics and not metrics:
+                    return None
+                self.summary.record_hit()
+                if self.emit_metrics:
+                    self.summary.record_metrics(
+                        self._job_label(spec, config), metrics
+                    )
+                return stats
+        # Shared-store read-through: a digest-verified artifact some
+        # other fabric participant published.  Mirrored into the local
+        # result cache so the next run hits tier 1.
+        if self.fabric_store is not None and not self.emit_metrics:
+            from repro.experiments.fabric.store import decode_entry
+
+            body = self.fabric_store.fetch(digest)
+            if body is not None:
+                try:
+                    stats, metrics = decode_entry(body)
+                except Exception:
+                    self.fabric_store.corrupt_rejected += 1
+                    return None
+                self.summary.record_fabric_store_cells(1)
+                if self.cache is not None:
+                    self.cache.store(
+                        digest,
+                        stats,
+                        self._job_meta(name, spec, config, profile_distance),
+                        metrics=metrics,
+                    )
+                return stats
+        return None
 
     def _store_cached(self, name, spec, config, profile_distance, stats, metrics=None):
-        if self.cache is None:
+        if self.cache is None and self.fabric_store is None:
             return
         digest = self._job_digest(name, spec, config, profile_distance)
-        self.cache.store(
-            digest,
-            stats,
-            self._job_meta(name, spec, config, profile_distance),
-            metrics=metrics,
-        )
+        meta = self._job_meta(name, spec, config, profile_distance)
+        if self.cache is not None:
+            self.cache.store(digest, stats, meta, metrics=metrics)
+        # Publish fresh results to the shared store so other fabric
+        # participants reuse them; subprocess workers already published
+        # theirs, which the ``contains`` probe skips.
+        if self.fabric_store is not None and not self.fabric_store.contains(
+            digest
+        ):
+            from repro.experiments.fabric.store import entry_body
+
+            self.fabric_store.publish(
+                digest, entry_body(stats, meta, metrics=metrics)
+            )
 
     def _record_result(self, name, spec, config, profile_distance, outcome):
         """Book one finished simulation: summary, metrics, disk cache."""
@@ -566,6 +844,8 @@ class ParallelExperimentRunner(ExperimentRunner):
                 pending.append((name, spec, config, profile_distance))
 
         if not pending:
+            if self.fabric_store is not None:
+                self.summary.set_fabric_store(self.fabric_store.stats())
             self.summary.wall_seconds += time.perf_counter() - started
             return 0
 
@@ -577,6 +857,8 @@ class ParallelExperimentRunner(ExperimentRunner):
             # ``jobs=1`` the plan is all-inline (no pool is touched)
             # and plain cells still benefit from the lockstep batch.
             self._fan_out(pending)
+        if self.fabric_store is not None:
+            self.summary.set_fabric_store(self.fabric_store.stats())
         self.summary.wall_seconds += time.perf_counter() - started
         return len(pending)
 
@@ -611,8 +893,179 @@ class ParallelExperimentRunner(ExperimentRunner):
                 ]
                 if not remaining:
                     return
+            except FabricWorkerDied as incident:
+                # Same contract over the fabric: tear the worker fleet
+                # down, keep every result already booked, and replan
+                # only the cells whose outcomes never arrived.
+                self.shutdown_fabric()
+                remaining = [
+                    job
+                    for job in remaining
+                    if self._result_key(*job) not in self._results
+                ]
+                self.summary.record_fabric_replan(len(remaining))
+                self._fabric_event(
+                    "worker_died",
+                    worker=incident.worker,
+                    replanned_cells=len(remaining),
+                )
+                if retries <= 0:
+                    raise
+                retries -= 1
+                if not remaining:
+                    return
 
     def _dispatch(self, pending):
+        """One scheduling attempt, routed to the fabric or the pool."""
+        if self.fabric_workers:
+            return self._dispatch_fabric(pending)
+        return self._dispatch_pool(pending)
+
+    # -- fabric path --------------------------------------------------------------
+
+    def _fabric_event(self, kind, **fields):
+        """Optional fabric telemetry hook.
+
+        The base runner drops the event; the exploration service's
+        runner overrides this to publish ``fabric.*`` events into its
+        progress journal.
+        """
+
+    def _ensure_fabric(self):
+        if self._fabric is None:
+            if self.fabric_transport == "local":
+                self._fabric = LocalPoolTransport(
+                    self.fabric_workers, analysis_dir=self.analysis_dir
+                )
+            else:
+                keyword_arguments = {}
+                if self.fabric_chunk_timeout is not None:
+                    keyword_arguments["chunk_timeout"] = self.fabric_chunk_timeout
+                self._fabric = SubprocessWorkerTransport(
+                    self.fabric_workers,
+                    store_root=(
+                        self.fabric_store.root
+                        if self.fabric_store is not None
+                        else None
+                    ),
+                    analysis_dir=self.analysis_dir,
+                    command_template=self.fabric_command,
+                    throughputs=self.fabric_throughputs,
+                    extra_env=self.fabric_extra_env,
+                    **keyword_arguments,
+                )
+        return self._fabric
+
+    def shutdown_fabric(self):
+        """Tear the fabric transport down (retries recreate it)."""
+        if self._fabric is not None:
+            self._fabric.close()
+            self._fabric = None
+
+    def warm_fabric(self):
+        """Spawn the fabric fleet ahead of the first dispatch.
+
+        Subprocess workers pay interpreter startup and handshake once;
+        warming moves that out of the first grid's wall clock (the
+        benchmark harness uses it to time steady-state dispatch).
+        """
+        if not self.fabric_workers:
+            return
+        transport = self._ensure_fabric()
+        ensure = getattr(transport, "ensure_workers", None)
+        if ensure is not None:
+            ensure()
+
+    def _dispatch_fabric(self, pending):
+        """One fabric scheduling attempt: inline split + sharded chunks.
+
+        Costing probes the shared store (tier 2 of
+        :func:`~repro.experiments.scheduler.job_cost`), so store-held
+        cells are priced as fetches.  Cheap cells still run inline in
+        the parent; the rest are chunked exactly as on the pool path
+        and sharded across fabric workers by the transport.  Results
+        are booked as they stream back, so a mid-grid worker death
+        loses only the outcomes that never arrived.
+        """
+        store = self.fabric_store
+        costs = []
+        for name, spec, config, profile_distance in pending:
+            digest = (
+                self._job_digest(name, spec, config, profile_distance)
+                if store is not None
+                else None
+            )
+            costs.append(
+                scheduler.job_cost(name, self.scale, store=store, digest=digest)
+            )
+        inline, pooled, pooled_costs = scheduler.split_inline(
+            pending, costs, self.fabric_workers, self.fabric_inline_threshold
+        )
+        chunks = scheduler.plan_chunks(
+            pooled, pooled_costs, self.fabric_workers, self.chunk, self.schedule
+        )
+        self.summary.inline_jobs += len(inline)
+        self.summary.record_fabric_schedule(
+            self.fabric_workers if chunks else 0,
+            len(chunks),
+            sum(len(chunk) for chunk in chunks),
+        )
+        self._run_inline(inline)
+        if not chunks:
+            return
+        cost_lookup = {
+            self._result_key(*job): cost for job, cost in zip(pending, costs)
+        }
+        chunk_costs = [
+            sum(cost_lookup[self._result_key(*job)] for job in chunk)
+            for chunk in chunks
+        ]
+        transport = self._ensure_fabric()
+        for index, outcomes in transport.execute(self.scale, chunks, chunk_costs):
+            self._book_fabric_chunk(chunks[index], outcomes)
+        placement = transport.placement()
+        self.summary.record_fabric_placement(placement)
+        for key, value in (placement.get("worker_store") or {}).items():
+            self.summary.fabric["worker_store_" + key] = value
+        self._fabric_event(
+            "placement",
+            workers=placement.get("workers"),
+            cells_by_worker=placement.get("cells_by_worker"),
+            straggler_seconds=placement.get("straggler_seconds"),
+        )
+
+    def _book_fabric_chunk(self, chunk, outcomes):
+        """Book one fabric chunk's outcomes into the memo and caches."""
+        for job, (packed, seconds, blocks, source) in zip(chunk, outcomes):
+            name, spec, config, profile_distance = job
+            stats = scheduler.unpack_stats(packed)
+            key = self._result_key(name, spec, config, profile_distance)
+            if source == "store":
+                # A worker answered from the shared store: no
+                # simulation ran, so no job is booked — but the entry
+                # is mirrored into the local result cache.
+                self.summary.record_fabric_store_cells(1)
+                if self.cache is not None:
+                    self.cache.store(
+                        stats=stats,
+                        digest=self._job_digest(
+                            name, spec, config, profile_distance
+                        ),
+                        meta=self._job_meta(name, spec, config, profile_distance),
+                    )
+                self._results[key] = stats
+            else:
+                self._results[key] = self._record_result(
+                    name,
+                    spec,
+                    config,
+                    profile_distance,
+                    (stats, None, seconds, blocks),
+                )
+
+    # -- pool path ----------------------------------------------------------------
+
+    def _dispatch_pool(self, pending):
         """One scheduling attempt: inline short-circuit + warm pool.
 
         Costing a cell peeks the analysis cache and falls back to the

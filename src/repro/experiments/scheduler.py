@@ -64,6 +64,11 @@ SCHEDULE_COST = "cost"
 SCHEDULE_FIFO = "fifo"
 SCHEDULES = (SCHEDULE_COST, SCHEDULE_FIFO)
 
+#: Nominal cost of a grid cell the shared artifact store already
+#: holds: a digest-verified fetch, not a simulation.  Non-zero so the
+#: shard planner still spreads store-held cells across workers.
+STORE_HELD_COST = 1
+
 
 def usable_cpus():
     """CPUs this process may actually run on (affinity-aware)."""
@@ -76,24 +81,33 @@ def usable_cpus():
 # -- cost model -------------------------------------------------------------------
 
 
-def job_cost(name, scale):
+def job_cost(name, scale, store=None, digest=None):
     """Estimated cost of one grid cell: its committed-trace length.
 
     Simulation time is linear in committed instructions (the kernel
     retires the whole trace), so the trace length is the cost unit.
     The policy spec does not enter: every policy retires the same
-    trace.  Three tiers, cheapest sufficient one wins:
+    trace.  Four tiers, cheapest sufficient one wins:
 
     1. a cached exact length (preparation memo, or the analysis
        cache's memory/disk layers) — free and exact;
-    2. the closed-form structural estimate of
+    2. a shared-store probe: when ``store``/``digest`` name an
+       artifact the fabric store already holds, the cell costs
+       :data:`STORE_HELD_COST` — it will be *fetched*, not simulated,
+       so estimating (let alone preparing) its workload would price
+       work nobody is going to do;
+    3. the closed-form structural estimate of
        :func:`repro.analysis.estimate.estimated_trace_length` for
        synthesized catalog scenarios — ~20% relative error, which the
        over-partitioned longest-first schedule absorbs, and it spares
        a cold sweep from preparing every cell up front just to cost
        it;
-    3. preparing the workload (named workloads on a cold cache only —
+    4. preparing the workload (named workloads on a cold cache only —
        the handful of paper benchmarks, never the 2592-cell catalog).
+
+    The store probe sits *above* the estimator so a store-held named
+    workload on a cold cache never triggers the tier-4 ``prepare``
+    fallback in fabric costing paths.
     """
     from repro.analysis.estimate import estimated_trace_length
     from repro.workloads.suite import (
@@ -104,6 +118,8 @@ def job_cost(name, scale):
     cached = peek_workload_trace_length(name, scale)
     if cached is not None:
         return cached
+    if store is not None and digest is not None and store.contains(digest):
+        return STORE_HELD_COST
     estimated = estimated_trace_length(name, scale)
     if estimated is not None:
         return estimated
@@ -289,6 +305,43 @@ def plan_grid(
     else:
         workers = 0
     return GridSchedule(inline, chunks, workers, schedule, cpus)
+
+
+def plan_shards(costs, workers, throughputs=None):
+    """Assign chunks to workers: greedy LPT, throughput-weighted.
+
+    ``costs`` is the per-chunk total cost (already in
+    longest-expected-first order from :func:`plan_chunks`);
+    ``throughputs`` optionally weights workers by relative speed
+    (default: homogeneous).  Each chunk goes to the worker whose
+    *completion time* — accumulated cost divided by throughput — it
+    increases least, so a 2x-faster worker receives roughly 2x the
+    work.  Returns one chunk-index list per worker; the plan is a pure
+    function of its inputs, so placement is deterministic (ties break
+    toward the lower worker index).
+    """
+    workers = max(1, int(workers))
+    if throughputs is None:
+        throughputs = [1.0] * workers
+    if len(throughputs) != workers or any(t <= 0 for t in throughputs):
+        raise ConfigurationError(
+            "throughputs must be {} positive weights, got {!r}".format(
+                workers, throughputs
+            )
+        )
+    shards = [[] for _ in range(workers)]
+    loads = [0.0] * workers
+    order = sorted(range(len(costs)), key=lambda i: (-costs[i], i))
+    for index in order:
+        target = min(
+            range(workers),
+            key=lambda w: ((loads[w] + costs[index]) / throughputs[w], w),
+        )
+        shards[target].append(index)
+        loads[target] += costs[index]
+    for shard in shards:
+        shard.sort()
+    return shards
 
 
 # -- the warm worker pool ---------------------------------------------------------

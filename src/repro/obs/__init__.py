@@ -68,6 +68,7 @@ from repro.obs.bridge import (
     SERVICE_EVENT_SCHEMA_VERSION,
     CallbackSink,
     EventJournal,
+    fabric_event,
     service_event,
 )
 from repro.obs.metrics import TOTAL_KEYS, MetricsAggregator, merge_metrics
@@ -98,4 +99,5 @@ __all__ = [
     "CallbackSink",
     "EventJournal",
     "service_event",
+    "fabric_event",
 ]

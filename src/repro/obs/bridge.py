@@ -43,6 +43,23 @@ def service_event(kind, **fields):
     return event
 
 
+#: Kind prefix of fabric placement/incident events (``fabric.placement``,
+#: ``fabric.worker_died``), namespacing them apart from the admission
+#: and batching vocabulary in one shared JSONL stream.
+FABRIC_EVENT_PREFIX = "fabric."
+
+
+def fabric_event(kind, **fields):
+    """One fabric telemetry event (a namespaced :func:`service_event`).
+
+    Emitted by the parallel runner's fabric dispatch path — worker
+    placement after each sharded grid, dead-worker incidents with the
+    replanned cell count — and bridged into the service journal by the
+    exploration service's runner.
+    """
+    return service_event(FABRIC_EVENT_PREFIX + kind, **fields)
+
+
 class CallbackSink:
     """Bus sink that forwards events to a callable.
 

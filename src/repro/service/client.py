@@ -10,9 +10,33 @@ honour it automatically (``retries``).
 
 import http.client
 import json
+import random
 import time
 
 from repro.service import wire
+
+#: Ceiling on one jittered retry sleep, whatever the server hints.
+RETRY_DELAY_CAP = 30.0
+
+
+def retry_delay(hint, previous=None, rng=None):
+    """One decorrelated-jitter retry delay honouring ``Retry-After``.
+
+    A fixed backoff synchronizes clients: N of them rejected by one
+    admission window all sleep the same hint and thunder-herd the next
+    window together.  Decorrelated jitter (AWS architecture blog's
+    variant) spreads them out: each delay is drawn uniformly from
+    ``[hint, max(hint, 3 * previous)]``, so retries never undercut the
+    server's hint, desynchronize immediately, and back off
+    geometrically on repeated rejections — capped at
+    :data:`RETRY_DELAY_CAP`.
+
+    ``rng`` is the uniform sampler (injectable for tests); ``previous``
+    is the prior attempt's delay, ``None`` on the first.
+    """
+    draw = rng if rng is not None else random.uniform
+    previous = hint if previous is None else previous
+    return min(RETRY_DELAY_CAP, draw(hint, max(hint, 3.0 * previous)))
 
 
 class ServiceResponseError(Exception):
@@ -81,8 +105,10 @@ class ServiceClient:
     def query(self, cells, scale=1.0, retries=0, allow_errors=False, estimate=False):
         """Submit ``cells`` and return the decoded response.
 
-        Retries up to ``retries`` times on 429, sleeping the server's
-        ``Retry-After`` hint between attempts.  Raises
+        Retries up to ``retries`` times on 429, sleeping a
+        decorrelated-jitter delay seeded by the server's
+        ``Retry-After`` hint between attempts (see
+        :func:`retry_delay`).  Raises
         :class:`ServiceQueryError` when any cell failed, unless
         ``allow_errors`` is set (degraded batches then surface per-cell
         errors in the returned payload instead).  With ``estimate`` the
@@ -90,6 +116,7 @@ class ServiceClient:
         ``estimate`` object instead of ``stats``).
         """
         attempts = 0
+        delay = None
         while True:
             status, headers, payload = self.query_raw(
                 cells, scale, estimate=estimate
@@ -104,7 +131,8 @@ class ServiceClient:
                         (payload or {}).get("error", "saturated"), retry_after
                     )
                 attempts += 1
-                time.sleep(retry_after)
+                delay = retry_delay(retry_after, delay)
+                time.sleep(delay)
                 continue
             if status != 200:
                 raise ServiceResponseError(

@@ -33,7 +33,7 @@ import time
 
 from repro.experiments import scheduler
 from repro.experiments.parallel import ParallelExperimentRunner
-from repro.obs import EventBus, CallbackSink, service_event
+from repro.obs import EventBus, CallbackSink, fabric_event, service_event
 from repro.service import wire
 
 #: Per-simulation cap on bridged lifecycle events.  Inline simulations
@@ -92,6 +92,11 @@ class _ServiceRunner(ParallelExperimentRunner):
         bus.attach(CallbackSink(forward), verbose=False)
         return bus
 
+    def _fabric_event(self, kind, **fields):
+        """Bridge fabric placement/incident telemetry into the journal."""
+        if self._journal is not None:
+            self._journal.publish(fabric_event(kind, **fields))
+
 
 def merge_summary_dicts(summaries):
     """Sum a list of ``RunSummary.as_dict()`` payloads into one."""
@@ -125,6 +130,9 @@ class ExplorationEngine:
         cpus=None,
         journal=None,
         sim_event_limit=DEFAULT_SIM_EVENT_LIMIT,
+        fabric_workers=0,
+        fabric_store=None,
+        fabric_transport="subprocess",
     ):
         self.jobs = jobs
         self.cache_dir = cache_dir
@@ -134,6 +142,12 @@ class ExplorationEngine:
         self.cpus = cpus
         self.journal = journal
         self.sim_event_limit = sim_event_limit
+        #: Fabric knobs, forwarded verbatim to every scale runner: the
+        #: engine can target worker subprocesses and a shared artifact
+        #: store instead of (only) the local warm pool.
+        self.fabric_workers = fabric_workers
+        self.fabric_store = fabric_store
+        self.fabric_transport = fabric_transport
         self._runners = {}
         self._lock = threading.Lock()
         #: Batch/query/cell telemetry for ``/healthz``.
@@ -174,6 +188,9 @@ class ExplorationEngine:
                     cpus=self.cpus,
                     journal=self.journal,
                     sim_event_limit=self.sim_event_limit,
+                    fabric_workers=self.fabric_workers,
+                    fabric_store=self.fabric_store,
+                    fabric_transport=self.fabric_transport,
                 )
                 self._runners[scale] = runner
             return runner
@@ -459,9 +476,17 @@ class ExplorationEngine:
     def snapshot(self):
         """The engine fragment of ``/healthz``."""
         summary = self.summary_dict()
+        store_root = self.fabric_store
+        if store_root is not None and not isinstance(store_root, str):
+            store_root = getattr(store_root, "root", str(store_root))
         return {
             "jobs": self.jobs,
             "cache_dir": self.cache_dir,
+            "fabric": {
+                "workers": self.fabric_workers,
+                "transport": self.fabric_transport,
+                "store": store_root,
+            },
             "scales": sorted(self._runners),
             "batches": {
                 "executed": self.batches_executed,

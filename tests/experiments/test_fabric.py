@@ -1,0 +1,567 @@
+"""Tests for the experiment fabric: wire protocol, shared store,
+subprocess transport, placement invariance, and fault recovery."""
+
+import io
+import json
+import os
+import pickle
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import scheduler
+from repro.experiments.fabric import protocol
+from repro.experiments.fabric.store import (
+    SharedStore,
+    decode_entry,
+    entry_body,
+    seed_from_cache,
+)
+from repro.experiments.fabric.transport import SubprocessWorkerTransport
+from repro.experiments.parallel import (
+    ParallelExperimentRunner,
+    ResultCache,
+    sweep_entries,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.polyflow import PAPER_CONFIG
+from repro.service.client import RETRY_DELAY_CAP, retry_delay
+from repro.spawn.points import SpawnCategory
+from repro.workloads import clear_cache
+from repro.workloads.synth import catalog_names
+
+_SCALE = 0.2
+_SPECS = ("postdoms", "loop")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_workloads():
+    clear_cache()
+
+
+def _grid_names(count=4):
+    return [
+        name for name in catalog_names() if name.startswith("synth/L2H1")
+    ][:count]
+
+
+def _grid_jobs(count=4):
+    return [(name, spec) for name in _grid_names(count) for spec in _SPECS]
+
+
+@pytest.fixture(scope="module")
+def serial_packed():
+    """Ground truth: the packed stats of every grid cell, run serially."""
+    runner = ExperimentRunner(scale=_SCALE)
+    return {
+        (name, spec): scheduler.pack_stats(runner.run_policy(name, spec))
+        for name, spec in _grid_jobs()
+    }
+
+
+def _assert_matches_serial(runner, serial_packed):
+    for (name, spec), packed in serial_packed.items():
+        assert scheduler.pack_stats(runner.run_policy(name, spec)) == packed
+
+
+# -- wire protocol ----------------------------------------------------------------
+
+
+def test_frame_round_trip():
+    stream = io.BytesIO()
+    protocol.write_frame(stream, {"kind": "chunk", "id": 3})
+    protocol.write_frame(stream, {"kind": "shutdown"})
+    stream.seek(0)
+    assert protocol.read_frame(stream) == {"kind": "chunk", "id": 3}
+    assert protocol.read_frame(stream) == {"kind": "shutdown"}
+    assert protocol.read_frame(stream) is None  # clean EOF
+
+
+def test_frame_truncated_mid_body_raises():
+    stream = io.BytesIO()
+    protocol.write_frame(stream, {"kind": "result", "id": 0})
+    truncated = io.BytesIO(stream.getvalue()[:-4])
+    with pytest.raises(protocol.FabricProtocolError):
+        protocol.read_frame(truncated)
+
+
+def test_frame_length_bound():
+    stream = io.BytesIO(b"\xff\xff\xff\xff")
+    with pytest.raises(protocol.FabricProtocolError):
+        protocol.read_frame(stream)
+
+
+def test_frames_must_carry_a_kind():
+    stream = io.BytesIO()
+    body = b"[1,2,3]"
+    stream.write(len(body).to_bytes(4, "big") + body)
+    stream.seek(0)
+    with pytest.raises(protocol.FabricProtocolError):
+        protocol.read_frame(stream)
+
+
+def test_check_hello_rejects_version_skew():
+    with pytest.raises(protocol.FabricProtocolError):
+        protocol.check_hello({"kind": "hello", "wire_version": -1})
+    with pytest.raises(protocol.FabricProtocolError):
+        protocol.check_hello(None)
+    frame = {"kind": "hello", "wire_version": protocol.WIRE_VERSION}
+    assert protocol.check_hello(frame) is frame
+
+
+def test_packed_stats_survive_the_json_round_trip():
+    """Spawn-category enum keys and cache tuples are restored exactly."""
+    stats = ExperimentRunner(scale=0.1).run_policy("gzip", "postdoms")
+    packed = scheduler.pack_stats(stats)
+    wire = json.loads(protocol.canonical_json(protocol.encode_packed(packed)))
+    decoded = protocol.decode_packed(wire)
+    assert decoded == packed
+    for category, _ in decoded[1]:
+        assert isinstance(category, SpawnCategory)
+    for _, counts in decoded[2]:
+        assert isinstance(counts, tuple)
+
+
+def test_cell_round_trip_default_config():
+    cell = ("gzip", "postdoms", PAPER_CONFIG, None)
+    wire = json.loads(protocol.canonical_json(protocol.encode_cell(*cell)))
+    assert protocol.decode_cell(wire) == cell
+
+
+def test_cell_round_trip_override_config():
+    import dataclasses
+
+    config = dataclasses.replace(PAPER_CONFIG, rob_entries=256)
+    cell = ("twolf", "loop+procFT", config, 12)
+    wire = json.loads(protocol.canonical_json(protocol.encode_cell(*cell)))
+    assert protocol.decode_cell(wire) == cell
+
+
+# -- the shared store -------------------------------------------------------------
+
+
+def test_store_round_trip(tmp_path):
+    store = SharedStore(str(tmp_path / "store"))
+    digest = "ab" + "0" * 62
+    body = entry_body("stats-payload", {"workload": "x"})
+    assert not store.contains(digest)
+    assert store.fetch(digest) is None
+    store.publish(digest, body)
+    assert store.contains(digest)
+    assert len(store) == 1
+    fetched = store.fetch(digest)
+    assert fetched == body
+    stats, metrics = decode_entry(fetched)
+    assert stats == "stats-payload"
+    assert metrics is None
+    assert store.stats()["publishes"] == 1
+    assert store.stats()["hits"] == 1
+    assert store.stats()["misses"] == 1  # the pre-publish probe
+
+
+def test_store_rejects_corrupt_entries(tmp_path):
+    store = SharedStore(str(tmp_path / "store"))
+    digest = "cd" + "0" * 62
+    store.publish(digest, b"payload")
+    with open(store.path(digest), "r+b") as handle:
+        handle.seek(-1, os.SEEK_END)
+        handle.write(b"\x00")
+    assert store.fetch(digest) is None
+    assert store.stats()["corrupt_rejected"] == 1
+    assert store.stats()["misses"] == 1
+
+
+def test_store_concurrent_publish_never_tears(tmp_path):
+    """Racing publishers of one digest: readers always see a whole
+    envelope (one of the bodies), never a torn mix."""
+    store = SharedStore(str(tmp_path / "store"))
+    digest = "ef" + "0" * 62
+    bodies = [bytes([value]) * 4096 for value in (1, 2, 3, 4)]
+    store.publish(digest, bodies[0])
+    stop = threading.Event()
+    failures = []
+
+    def publish_loop(body):
+        while not stop.is_set():
+            SharedStore(str(tmp_path / "store")).publish(digest, body)
+
+    writers = [
+        threading.Thread(target=publish_loop, args=(body,), daemon=True)
+        for body in bodies
+    ]
+    for writer in writers:
+        writer.start()
+    reader = SharedStore(str(tmp_path / "store"))
+    for _ in range(200):
+        fetched = reader.fetch(digest)
+        if fetched not in bodies:
+            failures.append(fetched)
+    stop.set()
+    for writer in writers:
+        writer.join(timeout=5.0)
+    assert not failures
+    assert reader.corrupt_rejected == 0
+
+
+def test_store_local_read_through(tmp_path):
+    shared_root = str(tmp_path / "shared")
+    publisher = SharedStore(shared_root)
+    digest = "12" + "0" * 62
+    body = b"artifact"
+    publisher.publish(digest, body)
+
+    store = SharedStore(shared_root, local_root=str(tmp_path / "local"))
+    assert store.fetch(digest) == body
+    assert store.local_hits == 0  # first fetch went to the shared root
+    # The shared entry disappears; the local mirror still answers.
+    os.unlink(publisher.path(digest))
+    assert store.fetch(digest) == body
+    assert store.local_hits == 1
+
+
+def test_seed_from_cache(tmp_path):
+    cache_root = str(tmp_path / "cache")
+    digest = "34" + "0" * 62
+    path = os.path.join(cache_root, digest[:2], digest + ".pkl")
+    os.makedirs(os.path.dirname(path))
+    entry = {"meta": {"workload": "gzip"}, "stats": "payload", "metrics": None}
+    with open(path, "wb") as handle:
+        pickle.dump(entry, handle)
+    bad = os.path.join(cache_root, digest[:2], "ff" + "0" * 62 + ".pkl")
+    with open(bad, "wb") as handle:
+        handle.write(b"not a pickle")
+
+    store = SharedStore(str(tmp_path / "store"))
+    assert seed_from_cache(store, cache_root) == 1
+    stats, _ = decode_entry(store.fetch(digest))
+    assert stats == "payload"
+
+
+def test_store_gc_prunes_corrupt_then_lru(tmp_path):
+    store = SharedStore(str(tmp_path / "store"))
+    digests = ["{:02x}".format(index) + "0" * 62 for index in range(4)]
+    for age, digest in enumerate(digests):
+        store.publish(digest, b"x" * 100)
+        os.utime(store.path(digest), (1000 + age, 1000 + age))
+    with open(store.path(digests[3]), "wb") as handle:
+        handle.write(b"damaged")
+    entry_bytes = os.path.getsize(store.path(digests[0]))
+    report = store.gc(max_bytes=2 * entry_bytes)
+    assert report["removed_corrupt"] == 1
+    assert report["removed_lru"] == 1  # the oldest valid entry
+    assert report["kept_entries"] == 2
+    assert not store.contains(digests[0])
+    assert store.contains(digests[1]) and store.contains(digests[2])
+
+
+# -- result-cache GC --------------------------------------------------------------
+
+
+def _cache_entry(root, digest, age):
+    path = os.path.join(root, digest[:2], digest + ".pkl")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "wb") as handle:
+        pickle.dump({"meta": {}, "stats": digest, "metrics": None}, handle)
+    os.utime(path, (1000 + age, 1000 + age))
+    return path
+
+
+def test_result_cache_gc_corrupt_first(tmp_path):
+    root = str(tmp_path / "cache")
+    kept = _cache_entry(root, "aa" + "0" * 62, age=0)
+    corrupt = os.path.join(root, "bb", "bb" + "0" * 62 + ".pkl")
+    os.makedirs(os.path.dirname(corrupt))
+    with open(corrupt, "wb") as handle:
+        handle.write(b"garbage")
+    report = ResultCache(root).gc()
+    assert report["removed_corrupt"] == 1
+    assert report["removed_lru"] == 0
+    assert os.path.exists(kept)
+    assert not os.path.exists(corrupt)
+    # The emptied shard directory is removed too.
+    assert not os.path.isdir(os.path.dirname(corrupt))
+
+
+def test_result_cache_gc_evicts_lru_to_fit(tmp_path):
+    root = str(tmp_path / "cache")
+    paths = [
+        _cache_entry(root, "{:02x}".format(index) + "0" * 62, age=index)
+        for index in range(4)
+    ]
+    entry_bytes = os.path.getsize(paths[0])
+    report = ResultCache(root).gc(max_bytes=2 * entry_bytes)
+    assert report["removed_lru"] == 2
+    assert report["kept_entries"] == 2
+    # Oldest mtimes went first.
+    assert not os.path.exists(paths[0]) and not os.path.exists(paths[1])
+    assert os.path.exists(paths[2]) and os.path.exists(paths[3])
+
+
+def test_result_cache_gc_leaves_the_analysis_tree_alone(tmp_path):
+    root = str(tmp_path / "cache")
+    _cache_entry(root, "aa" + "0" * 62, age=0)
+    analysis = os.path.join(root, "analysis", "program.pkl")
+    os.makedirs(os.path.dirname(analysis))
+    with open(analysis, "wb") as handle:
+        handle.write(b"not swept despite being unpicklable")
+    report = ResultCache(root).gc(max_bytes=0)
+    assert report["removed_corrupt"] == 0
+    assert os.path.exists(analysis)
+
+
+def test_sweep_entries_on_a_missing_root(tmp_path):
+    report = sweep_entries(str(tmp_path / "nowhere"))
+    assert report["kept_entries"] == 0
+    assert report["removed_bytes"] == 0
+
+
+# -- shard planning ---------------------------------------------------------------
+
+
+def test_plan_shards_balances_lpt():
+    shards = scheduler.plan_shards([5, 4, 3, 2, 1], 2)
+    loads = [sum([5, 4, 3, 2, 1][index] for index in shard) for shard in shards]
+    assert sorted(loads) == [7, 8]
+    assert sorted(index for shard in shards for index in shard) == [0, 1, 2, 3, 4]
+
+
+def test_plan_shards_is_deterministic():
+    first = scheduler.plan_shards([3, 3, 3, 3], 2)
+    second = scheduler.plan_shards([3, 3, 3, 3], 2)
+    assert first == second
+    assert all(shard == sorted(shard) for shard in first)
+
+
+def test_plan_shards_weights_throughput():
+    shards = scheduler.plan_shards([1] * 9, 2, throughputs=[2.0, 1.0])
+    assert len(shards[0]) == 6
+    assert len(shards[1]) == 3
+
+
+def test_plan_shards_rejects_bad_throughputs():
+    with pytest.raises(ConfigurationError):
+        scheduler.plan_shards([1, 2], 2, throughputs=[1.0])
+    with pytest.raises(ConfigurationError):
+        scheduler.plan_shards([1, 2], 2, throughputs=[1.0, 0.0])
+
+
+# -- cost-model store probe -------------------------------------------------------
+
+
+def test_job_cost_store_probe_prices_held_cells(tmp_path):
+    """A store-held catalog cell costs STORE_HELD_COST — and probing
+    must not prepare the workload in the parent."""
+    from repro.workloads.suite import peek_workload_trace_length
+
+    name = "synth/L2H3C1I1P1S1V0"
+    clear_cache()
+    store = SharedStore(str(tmp_path / "store"))
+    digest = "aa" + "1" * 62
+    store.publish(digest, b"held")
+    assert peek_workload_trace_length(name, _SCALE) is None
+    assert (
+        scheduler.job_cost(name, _SCALE, store=store, digest=digest)
+        == scheduler.STORE_HELD_COST
+    )
+    assert peek_workload_trace_length(name, _SCALE) is None
+    # A cell the store does not hold falls through to the estimator.
+    from repro.analysis.estimate import estimated_trace_length
+
+    assert scheduler.job_cost(
+        name, _SCALE, store=store, digest="bb" + "1" * 62
+    ) == estimated_trace_length(name, _SCALE)
+
+
+# -- retry jitter -----------------------------------------------------------------
+
+
+def test_retry_delay_draws_decorrelated_jitter():
+    windows = []
+
+    def rng(low, high):
+        windows.append((low, high))
+        return low
+
+    assert retry_delay(2.0, rng=rng) == 2.0
+    assert retry_delay(2.0, previous=4.0, rng=rng) == 2.0
+    assert windows == [(2.0, 6.0), (2.0, 12.0)]
+
+
+def test_retry_delay_never_undercuts_the_hint():
+    import random
+
+    rng = random.Random(7).uniform
+    delay = None
+    for _ in range(50):
+        delay = retry_delay(0.5, delay, rng=rng)
+        assert 0.5 <= delay <= RETRY_DELAY_CAP
+
+
+def test_retry_delay_is_capped():
+    assert retry_delay(100.0, rng=lambda low, high: high) == RETRY_DELAY_CAP
+
+
+# -- runner validation ------------------------------------------------------------
+
+
+def test_fabric_refuses_instrumented_runs(tmp_path):
+    with pytest.raises(ConfigurationError):
+        ParallelExperimentRunner(
+            scale=_SCALE, fabric_workers=2, emit_metrics=True
+        )
+    with pytest.raises(ConfigurationError):
+        ParallelExperimentRunner(
+            scale=_SCALE, fabric_workers=2, trace_dir=str(tmp_path / "t")
+        )
+
+
+def test_unknown_fabric_transport_rejected():
+    with pytest.raises(ConfigurationError):
+        ParallelExperimentRunner(scale=_SCALE, fabric_transport="carrier-pigeon")
+
+
+# -- placement invariance (subprocess workers) ------------------------------------
+
+
+def _fabric_runner(tmp_path, **kwargs):
+    kwargs.setdefault("fabric_workers", 2)
+    kwargs.setdefault("fabric_store", str(tmp_path / "store"))
+    return ParallelExperimentRunner(scale=_SCALE, **kwargs)
+
+
+@pytest.mark.parametrize("chunk", [1, None])
+@pytest.mark.parametrize(
+    "schedule", [scheduler.SCHEDULE_COST, scheduler.SCHEDULE_FIFO]
+)
+def test_subprocess_fabric_matches_serial(
+    tmp_path, serial_packed, chunk, schedule
+):
+    runner = _fabric_runner(tmp_path, chunk=chunk, schedule=schedule)
+    try:
+        ran = runner.prefetch(_grid_jobs())
+        assert ran == len(serial_packed)
+        _assert_matches_serial(runner, serial_packed)
+    finally:
+        runner.shutdown_fabric()
+    assert runner.summary.fabric["workers"] == 2
+    assert runner.summary.fabric["cells"] == len(serial_packed)
+    assert runner.summary.fabric.get("worker_store_publishes") == len(
+        serial_packed
+    )
+
+
+def test_local_transport_matches_serial(tmp_path, serial_packed):
+    runner = _fabric_runner(
+        tmp_path, fabric_transport="local", fabric_store=None
+    )
+    try:
+        runner.prefetch(_grid_jobs())
+        _assert_matches_serial(runner, serial_packed)
+    finally:
+        runner.shutdown_fabric()
+    assert runner.summary.fabric["cells"] == len(serial_packed)
+
+
+def test_warm_store_answers_without_simulating(tmp_path, serial_packed):
+    """A second runner against a populated store simulates nothing:
+    every cell is answered by the parent's store read-through."""
+    store_root = str(tmp_path / "store")
+    first = _fabric_runner(tmp_path, fabric_store=store_root)
+    try:
+        first.prefetch(_grid_jobs())
+    finally:
+        first.shutdown_fabric()
+
+    second = _fabric_runner(tmp_path, fabric_store=store_root)
+    try:
+        ran = second.prefetch(_grid_jobs())
+    finally:
+        second.shutdown_fabric()
+    assert ran == 0
+    assert second.summary.jobs_run == 0
+    assert second.summary.fabric["store_cells"] == len(serial_packed)
+    _assert_matches_serial(second, serial_packed)
+
+
+def test_store_read_through_mirrors_into_the_result_cache(
+    tmp_path, serial_packed
+):
+    store_root = str(tmp_path / "store")
+    first = _fabric_runner(tmp_path, fabric_store=store_root)
+    try:
+        first.prefetch(_grid_jobs())
+    finally:
+        first.shutdown_fabric()
+
+    cache_dir = str(tmp_path / "cache")
+    second = _fabric_runner(
+        tmp_path, fabric_store=store_root, cache_dir=cache_dir
+    )
+    try:
+        second.prefetch(_grid_jobs())
+    finally:
+        second.shutdown_fabric()
+    assert len(second.cache) == len(serial_packed)
+    # The mirrored cache now answers on its own, store unplugged.
+    third = ParallelExperimentRunner(scale=_SCALE, cache_dir=cache_dir)
+    assert third.prefetch(_grid_jobs()) == 0
+    assert third.summary.cache_hits == len(serial_packed)
+    _assert_matches_serial(third, serial_packed)
+
+
+def test_dead_worker_replans_only_unfinished_cells(tmp_path, serial_packed):
+    """One worker exits hard mid-grid: the incident is counted, only
+    the cells whose results never arrived are replanned, and the
+    final grid is still byte-identical to serial."""
+    flag = str(tmp_path / "fault-claimed")
+    runner = _fabric_runner(
+        tmp_path,
+        chunk=1,
+        pool_retries=1,
+        fabric_extra_env={
+            "REPRO_FABRIC_FAULT": "die-after-result:" + flag
+        },
+    )
+    try:
+        runner.prefetch(_grid_jobs())
+        _assert_matches_serial(runner, serial_packed)
+    finally:
+        runner.shutdown_fabric()
+    assert os.path.exists(flag)
+    assert runner.summary.fabric["restarts"] == 1
+    assert 0 < runner.summary.fabric["replanned_cells"] < len(serial_packed)
+
+
+def test_wire_version_skew_fails_at_handshake(tmp_path, monkeypatch):
+    """A worker announcing a different wire version is refused before
+    any work is shipped."""
+    monkeypatch.setattr(protocol, "WIRE_VERSION", 999)
+    transport = SubprocessWorkerTransport(workers=1)
+    with pytest.raises(protocol.FabricProtocolError):
+        transport.ensure_workers()
+    transport.close()
+
+
+# -- service passthrough ----------------------------------------------------------
+
+
+def test_engine_fabric_passthrough(tmp_path):
+    from repro.service.engine import ExplorationEngine
+
+    store_root = str(tmp_path / "store")
+    engine = ExplorationEngine(
+        fabric_workers=3,
+        fabric_store=store_root,
+        fabric_transport="local",
+    )
+    snapshot = engine.snapshot()
+    assert snapshot["fabric"] == {
+        "workers": 3,
+        "transport": "local",
+        "store": store_root,
+    }
+    runner = engine.runner_for(_SCALE)
+    assert runner.fabric_workers == 3
+    assert runner.fabric_transport == "local"
+    assert runner.fabric_store.root == store_root
