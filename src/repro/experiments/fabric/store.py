@@ -166,14 +166,23 @@ class SharedStore:
             self.local.publish(digest, body)
 
     def stats(self):
-        """The counter snapshot (cumulative for this store object)."""
+        """The counter snapshot (cumulative for this store object).
+
+        ``corrupt_rejected`` folds in the local read-through mirror's
+        rejections — a corrupt local copy is booked on the mirror's own
+        counter during :meth:`fetch`, and an incident is an incident
+        wherever the damaged bytes lived.
+        """
+        corrupt = self.corrupt_rejected
+        if self.local is not None:
+            corrupt += self.local.corrupt_rejected
         return {
             "fetches": self.fetches,
             "hits": self.hits,
             "misses": self.misses,
             "publishes": self.publishes,
             "local_hits": self.local_hits,
-            "corrupt_rejected": self.corrupt_rejected,
+            "corrupt_rejected": corrupt,
         }
 
     def __len__(self):

@@ -15,10 +15,13 @@ implementations:
   through a user-supplied command template for SSH), spoken to over
   the length-prefixed frame protocol.  Chunks are sharded across
   workers by :func:`repro.experiments.scheduler.plan_shards`; one
-  reader thread per worker funnels frames into a single queue; a
-  worker that goes silent past the chunk timeout, or whose stream
-  hits EOF with chunks outstanding, raises :class:`FabricWorkerDied`
-  so the runner's retry loop can replan only the unfinished cells.
+  reader thread per worker *process* (started at spawn, generation
+  tagged, exiting at EOF) funnels frames into a transport-owned
+  queue, so a transport reused across dispatches never has two
+  readers on one pipe; a worker that goes silent past the chunk
+  timeout, or whose stream hits EOF with chunks outstanding, raises
+  :class:`FabricWorkerDied` so the runner's retry loop can replan
+  only the unfinished cells.
 
 Both transports collect placement telemetry — cells and wall clock
 per worker, straggler wall, worker store counters — surfaced through
@@ -159,6 +162,14 @@ class SubprocessWorkerTransport:
         self.throughputs = throughputs
         self.extra_env = dict(extra_env or {})
         self._procs = [None] * self.workers
+        self._readers = [None] * self.workers
+        #: Incarnation counter per worker slot: frames are tagged with
+        #: the generation of the process that produced them, so frames
+        #: a replaced worker's reader queued (results from a torn-down
+        #: dispatch, EOF sentinels of killed processes) are dropped
+        #: instead of desyncing the protocol.
+        self._generation = [0] * self.workers
+        self._frames = queue.Queue()
         self._worker_store_stats = [None] * self.workers
         self._placement = _empty_placement(self.workers)
 
@@ -213,14 +224,37 @@ class SubprocessWorkerTransport:
             process.stdin,
             {"kind": "configure", "analysis_dir": self.analysis_dir},
         )
+        self._generation[index] += 1
+        reader = threading.Thread(
+            target=_read_worker,
+            args=(index, self._generation[index], process.stdout, self._frames),
+            daemon=True,
+        )
+        reader.start()
+        self._readers[index] = reader
         return process
 
     def ensure_workers(self):
-        """Spawn (or respawn) every missing worker."""
+        """Spawn (or respawn) every missing worker.
+
+        A worker is respawned when its process is gone *or* its reader
+        thread has exited (EOF, or a protocol error mid-stream): a live
+        process whose pipe nobody reads can only time out.
+        """
         for index in range(self.workers):
             process = self._procs[index]
-            if process is None or process.poll() is not None:
-                self._procs[index] = self._spawn(index)
+            reader = self._readers[index]
+            if (
+                process is not None
+                and process.poll() is None
+                and reader is not None
+                and reader.is_alive()
+            ):
+                continue
+            if process is not None and process.poll() is None:
+                process.kill()
+                process.wait()
+            self._procs[index] = self._spawn(index)
 
     def close(self):
         for index, process in enumerate(self._procs):
@@ -236,6 +270,7 @@ class SubprocessWorkerTransport:
                 process.wait()
             finally:
                 self._procs[index] = None
+                self._readers[index] = None
 
     # -- execution ----------------------------------------------------------------
 
@@ -248,20 +283,26 @@ class SubprocessWorkerTransport:
         worker is declared dead.
         """
         self.ensure_workers()
+        # Idle workers heartbeat between dispatches; drop that backlog
+        # (plus any stale-generation leftovers) now, re-queuing only
+        # EOF sentinels for the collection loop below.
+        backlog = []
+        while True:
+            try:
+                item = self._frames.get_nowait()
+            except queue.Empty:
+                break
+            index, generation, frame = item
+            if generation != self._generation[index]:
+                continue
+            if frame is not None and frame["kind"] == "heartbeat":
+                continue
+            backlog.append(item)
+        for item in backlog:
+            self._frames.put(item)
         shards = scheduler.plan_shards(
             costs, self.workers, throughputs=self.throughputs
         )
-        frames = queue.Queue()
-        readers = []
-        for index, process in enumerate(self._procs):
-            thread = threading.Thread(
-                target=_read_worker,
-                args=(index, process.stdout, frames),
-                daemon=True,
-            )
-            thread.start()
-            readers.append(thread)
-
         pending = {}
         started = time.perf_counter()
         for worker, shard in enumerate(shards):
@@ -292,17 +333,28 @@ class SubprocessWorkerTransport:
         while pending:
             timeout = max(self.heartbeat_interval, 0.05) * 2
             try:
-                worker, frame = frames.get(timeout=timeout)
+                worker, generation, frame = self._frames.get(timeout=timeout)
             except queue.Empty:
-                now = time.perf_counter()
-                for index, seen in last_activity.items():
-                    if (
-                        any(owner == index for owner in pending.values())
-                        and now - seen > self.chunk_timeout
-                    ):
-                        raise self._dead(index, "went silent", pending)
+                worker = None
+            else:
+                if generation != self._generation[worker]:
+                    # A replaced incarnation's leftovers (stale results,
+                    # the EOF sentinel of a killed process): drop them.
+                    worker = None
+            now = time.perf_counter()
+            if worker is not None:
+                last_activity[worker] = now
+            # Silence deadlines are evaluated every iteration — a busy
+            # sibling heartbeating keeps the queue non-empty, which must
+            # not shield a stalled worker from its chunk timeout.
+            for index, seen in last_activity.items():
+                if (
+                    any(owner == index for owner in pending.values())
+                    and now - seen > self.chunk_timeout
+                ):
+                    raise self._dead(index, "went silent", pending)
+            if worker is None:
                 continue
-            last_activity[worker] = time.perf_counter()
             if frame is None:
                 if any(owner == worker for owner in pending.values()):
                     raise self._dead(worker, "exited", pending)
@@ -358,6 +410,7 @@ class SubprocessWorkerTransport:
                 process.kill()
                 process.wait()
         self._procs = [None] * self.workers
+        self._readers = [None] * self.workers
         return FabricWorkerDied(worker, reason, unfinished)
 
     def placement(self):
@@ -370,16 +423,22 @@ class SubprocessWorkerTransport:
         return placement
 
 
-def _read_worker(index, stream, frames):
-    """Reader thread: funnel one worker's frames into the shared queue."""
+def _read_worker(index, generation, stream, frames):
+    """Reader thread: funnel one incarnation's frames into the queue.
+
+    Runs for the lifetime of one worker process — started at spawn,
+    exiting at EOF (clean or torn) — and tags every frame with the
+    incarnation's generation so the consumer can discard leftovers
+    after the process is replaced.
+    """
     try:
         while True:
             frame = protocol.read_frame(stream)
-            frames.put((index, frame))
+            frames.put((index, generation, frame))
             if frame is None:
                 return
     except protocol.FabricProtocolError:
-        frames.put((index, None))
+        frames.put((index, generation, None))
 
 
 def _empty_placement(workers):

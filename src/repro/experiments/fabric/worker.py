@@ -22,10 +22,13 @@ the stream, so the worker rebinds ``sys.stdout`` to stderr after
 claiming the real stream.
 
 Fault injection (tests): the ``REPRO_FABRIC_FAULT`` environment
-variable ``die-after-result:<flagfile>`` makes the worker exit hard
-after sending its first result — but only for the single incarnation
-that manages to create ``flagfile`` first, so a respawned (or sibling)
-worker survives and the retry path is deterministic.
+variable injects deterministic failures, each claimed by the single
+incarnation that manages to create its ``<flagfile>`` first so a
+respawned (or sibling) worker survives and the retry path is
+deterministic.  ``die-after-result:<flagfile>`` exits hard after the
+first result; ``freeze-on-chunk:<flagfile>`` goes completely silent on
+the first chunk — heartbeats included, simulating a SIGSTOP or network
+partition the driver must catch by chunk timeout.
 """
 
 import argparse
@@ -41,10 +44,10 @@ HEARTBEAT_INTERVAL = 1.0
 _FAULT_VARIABLE = "REPRO_FABRIC_FAULT"
 
 
-def _claim_fault():
-    """Whether this incarnation should die (one winner per flag file)."""
+def _claim_fault(kind):
+    """Whether this incarnation enacts ``kind`` (one winner per flag file)."""
     spec = os.environ.get(_FAULT_VARIABLE, "")
-    if not spec.startswith("die-after-result:"):
+    if not spec.startswith(kind + ":"):
         return False
     flag = spec.partition(":")[2]
     try:
@@ -192,8 +195,14 @@ def main(argv=None):
                     configure_disk_cache(analysis_dir)
                 continue
             if frame["kind"] == "chunk":
+                if _claim_fault("freeze-on-chunk"):
+                    # A SIGSTOP/partition stand-in: stop heartbeating
+                    # and never answer; only the driver's chunk
+                    # timeout can unblock the dispatch.
+                    stop.set()
+                    threading.Event().wait()
                 send(_execute_chunk(frame, store, analysis_dir))
-                if _claim_fault():
+                if _claim_fault("die-after-result"):
                     os._exit(3)
                 continue
             raise protocol.FabricProtocolError(

@@ -15,7 +15,9 @@ import time
 
 from repro.service import wire
 
-#: Ceiling on one jittered retry sleep, whatever the server hints.
+#: Ceiling on the jittered backoff above the server's hint.  The hint
+#: itself is always honoured — a server declaring a 2-minute window
+#: closed must not be retried after 30 seconds.
 RETRY_DELAY_CAP = 30.0
 
 
@@ -28,15 +30,17 @@ def retry_delay(hint, previous=None, rng=None):
     variant) spreads them out: each delay is drawn uniformly from
     ``[hint, max(hint, 3 * previous)]``, so retries never undercut the
     server's hint, desynchronize immediately, and back off
-    geometrically on repeated rejections — capped at
-    :data:`RETRY_DELAY_CAP`.
+    geometrically on repeated rejections.  :data:`RETRY_DELAY_CAP`
+    bounds only the jittered growth — the returned delay is never below
+    ``hint``, even when the hint itself exceeds the cap.
 
     ``rng`` is the uniform sampler (injectable for tests); ``previous``
     is the prior attempt's delay, ``None`` on the first.
     """
     draw = rng if rng is not None else random.uniform
     previous = hint if previous is None else previous
-    return min(RETRY_DELAY_CAP, draw(hint, max(hint, 3.0 * previous)))
+    jittered = min(RETRY_DELAY_CAP, draw(hint, max(hint, 3.0 * previous)))
+    return max(hint, jittered)
 
 
 class ServiceResponseError(Exception):

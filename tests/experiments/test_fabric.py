@@ -220,6 +220,23 @@ def test_store_local_read_through(tmp_path):
     assert store.local_hits == 1
 
 
+def test_store_stats_fold_local_mirror_corruption(tmp_path):
+    """A corrupt local-mirror copy is an incident: it must show up in
+    the composite stats, not only on the hidden mirror object."""
+    shared_root = str(tmp_path / "shared")
+    store = SharedStore(shared_root, local_root=str(tmp_path / "local"))
+    digest = "56" + "0" * 62
+    body = b"artifact"
+    store.publish(digest, body)
+    with open(store.local.path(digest), "r+b") as handle:
+        handle.seek(-1, os.SEEK_END)
+        handle.write(b"\x00")
+    # The damaged mirror copy is rejected; the shared root still answers.
+    assert store.fetch(digest) == body
+    assert store.local.corrupt_rejected == 1
+    assert store.stats()["corrupt_rejected"] == 1
+
+
 def test_seed_from_cache(tmp_path):
     cache_root = str(tmp_path / "cache")
     digest = "34" + "0" * 62
@@ -398,8 +415,15 @@ def test_retry_delay_never_undercuts_the_hint():
         assert 0.5 <= delay <= RETRY_DELAY_CAP
 
 
-def test_retry_delay_is_capped():
-    assert retry_delay(100.0, rng=lambda low, high: high) == RETRY_DELAY_CAP
+def test_retry_delay_caps_the_jitter_but_honours_large_hints():
+    # The cap bounds jittered growth above the hint...
+    assert (
+        retry_delay(10.0, previous=20.0, rng=lambda low, high: high)
+        == RETRY_DELAY_CAP
+    )
+    # ...but never undercuts a hint that itself exceeds the cap.
+    assert retry_delay(100.0, rng=lambda low, high: high) == 100.0
+    assert retry_delay(100.0, rng=lambda low, high: low) == 100.0
 
 
 # -- runner validation ------------------------------------------------------------
@@ -531,6 +555,73 @@ def test_dead_worker_replans_only_unfinished_cells(tmp_path, serial_packed):
     assert os.path.exists(flag)
     assert runner.summary.fabric["restarts"] == 1
     assert 0 < runner.summary.fabric["replanned_cells"] < len(serial_packed)
+
+
+def _plan_for_transport(jobs):
+    """``(chunks, chunk_costs)`` for driving a transport directly."""
+    jobs = [(name, spec, PAPER_CONFIG, None) for name, spec in jobs]
+    costs = [scheduler.job_cost(name, _SCALE) for name, _, _, _ in jobs]
+    chunks = scheduler.plan_chunks(jobs, costs, 2, 1, scheduler.SCHEDULE_COST)
+    lookup = dict(zip(jobs, costs))
+    return chunks, [sum(lookup[job] for job in chunk) for chunk in chunks]
+
+
+def _collect(transport, chunks, chunk_costs):
+    results = {}
+    for index, outcomes in transport.execute(_SCALE, chunks, chunk_costs):
+        for job, outcome in zip(chunks[index], outcomes):
+            results[job] = outcome[0]
+    return results
+
+
+def test_transport_reused_across_dispatches_stays_in_sync():
+    """One transport serving several dispatches (the service engine's
+    steady state) must not desync: exactly one reader owns each
+    worker's pipe for the process's whole lifetime, and heartbeats
+    buffered while the transport idles are drained, not misread."""
+    import time
+
+    chunks, chunk_costs = _plan_for_transport(_grid_jobs())
+    transport = SubprocessWorkerTransport(
+        workers=2, heartbeat_interval=0.1, chunk_timeout=30.0
+    )
+    try:
+        first = _collect(transport, chunks, chunk_costs)
+        assert len(first) == len(_grid_jobs())
+        for _ in range(2):
+            time.sleep(0.3)  # idle heartbeats pile into the frame queue
+            assert _collect(transport, chunks, chunk_costs) == first
+    finally:
+        transport.close()
+
+
+def test_silent_worker_declared_dead_despite_chatty_sibling(tmp_path):
+    """A worker that goes completely silent (heartbeats included) with
+    chunks outstanding hits its chunk timeout even though a live
+    sibling keeps the frame queue busy with heartbeats."""
+    import time
+
+    from repro.experiments.fabric.transport import FabricWorkerDied
+
+    flag = str(tmp_path / "freeze-claimed")
+    chunks, chunk_costs = _plan_for_transport(_grid_jobs())
+    transport = SubprocessWorkerTransport(
+        workers=2,
+        heartbeat_interval=0.1,
+        chunk_timeout=1.5,
+        extra_env={"REPRO_FABRIC_FAULT": "freeze-on-chunk:" + flag},
+    )
+    started = time.monotonic()
+    try:
+        with pytest.raises(FabricWorkerDied) as incident:
+            for _ in transport.execute(_SCALE, chunks, chunk_costs):
+                pass
+    finally:
+        transport.close()
+    assert time.monotonic() - started < 60.0
+    assert "went silent" in str(incident.value)
+    assert incident.value.unfinished
+    assert os.path.exists(flag)
 
 
 def test_wire_version_skew_fails_at_handshake(tmp_path, monkeypatch):
